@@ -1,0 +1,67 @@
+// Extension bench: sensitivity to localization error (paper Section I:
+// "localization protocols incur extra costs and may have large location
+// errors" is a core motivation for GDV needing none).
+//
+// MDT-greedy and NADV are fed physical coordinates corrupted by Gaussian
+// noise of increasing sigma; GDV on VPoD uses no location information, so
+// its curve is flat by construction -- plotted alongside as the reference.
+#include "common.hpp"
+
+using namespace gdvr;
+using namespace gdvr::bench;
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  const int pairs = full ? 0 : 400;
+  const int periods = full ? 20 : 10;
+  const radio::Topology topo = paper_topology(200, 6001);
+  std::printf("Localization-error sensitivity | N=%d, ETX metric%s\n", topo.size(),
+              full ? " [full]" : " [quick]");
+
+  // GDV's (location-free) reference level.
+  eval::VpodRunner runner(topo, /*use_etx=*/true, paper_vpod(3));
+  runner.run_to_period(periods);
+  eval::EvalOptions opts;
+  opts.use_etx = true;
+  opts.pair_samples = pairs;
+  const auto gdv = eval::eval_gdv(runner.snapshot(), topo, opts);
+
+  const std::vector<double> sigmas{0.0, 2.0, 5.0, 10.0, 15.0};  // meters
+  std::vector<double> xs;
+  Series mdt_tx{"MDT (noisy loc)", {}}, nadv_tx{"NADV (noisy loc)", {}},
+      nadv_sr{"NADV success", {}}, mdt_sr{"MDT success", {}},
+      gdv_tx{"GDV (no loc)", {}};
+
+  for (double sigma : sigmas) {
+    xs.push_back(sigma);
+    Rng rng(777 + static_cast<std::uint64_t>(sigma * 10));
+    std::vector<Vec> noisy = topo.positions;
+    for (Vec& p : noisy)
+      for (int c = 0; c < p.dim(); ++c) p[c] += rng.normal(0.0, sigma);
+
+    const auto view = routing::centralized_mdt(noisy, topo.etx);
+    std::vector<int> ids;
+    for (int i = 0; i < topo.size(); ++i) ids.push_back(i);
+    const auto sampled = eval::sample_pairs(ids, pairs, 5);
+    const auto mdt = eval::evaluate_router(
+        [&](int s, int t) { return routing::route_mdt_greedy(view, s, t); }, topo.etx, topo.hops,
+        true, sampled);
+    const routing::PlanarGraph planar(noisy, topo.hops);
+    const auto nadv = eval::evaluate_router(
+        [&](int s, int t) { return routing::route_nadv(noisy, topo.etx, planar, s, t); },
+        topo.etx, topo.hops, true, sampled);
+    mdt_tx.values.push_back(mdt.transmissions);
+    mdt_sr.values.push_back(mdt.success_rate);
+    nadv_tx.values.push_back(nadv.transmissions);
+    nadv_sr.values.push_back(nadv.success_rate);
+    gdv_tx.values.push_back(gdv.transmissions);
+  }
+
+  print_table("transmissions per delivery vs location error sigma (m)", "sigma", xs,
+              {mdt_tx, nadv_tx, gdv_tx});
+  print_table("success rate vs location error sigma (m)", "sigma", xs, {mdt_sr, nadv_sr});
+  std::printf("\nexpected shape: location-based protocols degrade with noise (NADV's\n"
+              "success collapses; MDT survives via DT guarantees but its stretch grows);\n"
+              "GDV is flat -- it never used locations.\n");
+  return 0;
+}

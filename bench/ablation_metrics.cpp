@@ -1,0 +1,45 @@
+// Extension bench (paper Sec. III-A claims GDV works "for any additive
+// routing metric"): run VPoD + GDV under all four implemented metrics --
+// hop count, ETX, ETT and transmit energy -- on the same network, and
+// compare each converged result against that metric's optimal shortest
+// path. A geographic protocol without cost awareness has no way to target
+// ETT or energy at all.
+#include "common.hpp"
+#include "radio/topology.hpp"
+
+using namespace gdvr;
+using namespace gdvr::bench;
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  const int periods = full ? 20 : 10;
+  const int pairs = full ? 0 : 400;
+  const radio::Topology topo = paper_topology(200, 4242);
+  std::printf("Metric generality | N=%d avg degree %.1f%s\n", topo.size(),
+              topo.etx.average_degree(), full ? " [full]" : " [quick]");
+  std::printf("\n%-14s %16s %16s %12s %10s\n", "metric", "GDV cost/deliv", "optimal cost",
+              "GDV/optimal", "delivery");
+
+  for (radio::Metric m : {radio::Metric::kHopCount, radio::Metric::kEtx, radio::Metric::kEtt,
+                          radio::Metric::kEnergy}) {
+    eval::VpodRunner runner(topo, m, paper_vpod(3));
+    runner.run_to_period(periods);
+    const auto view = runner.snapshot();
+    const graph::Graph& metric = topo.metric_graph(m);
+    const auto ids = eval::alive_nodes(view);
+    const auto sampled = eval::sample_pairs(ids, pairs, 11);
+    // Evaluate in "ETX mode" (cost accounting) regardless of the metric:
+    // stats.transmissions is then the mean metric cost per delivery.
+    const auto stats = eval::evaluate_router(
+        [&](int s, int t) { return routing::route_gdv(view, s, t); }, metric, topo.hops,
+        /*use_etx=*/true, sampled);
+    std::printf("%-14s %16.3f %16.3f %12.3f %9.0f%%\n", radio::metric_name(m),
+                stats.transmissions, stats.optimal_transmissions,
+                stats.transmissions / stats.optimal_transmissions, 100.0 * stats.success_rate);
+  }
+  std::printf("\nexpected shape: GDV tracks the per-metric optimum with full delivery under\n"
+              "every metric -- closest for hop count and ETX (~10-20%% over optimal), and\n"
+              "within ~50%% for ETT/energy, whose wider per-link dynamic range (rate and\n"
+              "power spreads multiply the ETX spread) makes the embedding harder.\n");
+  return 0;
+}

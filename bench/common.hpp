@@ -1,0 +1,111 @@
+// Shared infrastructure for the figure-reproduction benches.
+//
+// Every bench binary prints the series of one paper figure. By default the
+// benches run in "quick" mode (fewer repetitions, sampled source-destination
+// pairs) so the whole `for b in build/bench/*; do $b; done` loop finishes on
+// a laptop; set GDV_FULL=1 (or pass --full) for paper-scale repetitions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "eval/protocol_runner.hpp"
+#include "eval/routing_eval.hpp"
+#include "radio/topology.hpp"
+#include "vivaldi/vivaldi.hpp"
+#include "vpod/vpod.hpp"
+
+namespace gdvr::bench {
+
+inline bool full_mode(int argc = 0, char** argv = nullptr) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--full") == 0) return true;
+  const char* env = std::getenv("GDV_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+// The paper's standard workload: N nodes, area scaled so the average number
+// of physical neighbors stays at 14.5 (200 nodes <-> 100 m x 100 m).
+inline radio::Topology paper_topology(int n, std::uint64_t seed, int num_obstacles = 0) {
+  radio::TopologyConfig tc;
+  tc.n = n;
+  tc.seed = seed;
+  const double scale = std::sqrt(static_cast<double>(n) / 200.0);
+  tc.width_m = 100.0 * scale;
+  tc.height_m = 100.0 * scale;
+  tc.num_obstacles = num_obstacles;
+  tc.obstacle_size_m = 10.0;
+  tc.target_avg_degree = 14.5;
+  return radio::make_random_topology(tc);
+}
+
+inline vpod::VpodConfig paper_vpod(int dim) {
+  vpod::VpodConfig vc;
+  vc.dim = dim;
+  return vc;  // Ta = 20 s, cc = 0.1, ce = 0.25, adaptive timeout: paper defaults
+}
+
+// One GDV-on-VPoD time series: routing stats per sampled adjustment period.
+struct PeriodPoint {
+  int period = 0;
+  eval::RoutingStats gdv;
+  double storage = 0.0;
+  double msgs_per_node = 0.0;  // control messages per node in this period window
+};
+
+inline std::vector<PeriodPoint> run_vpod_series(const radio::Topology& topo, bool use_etx,
+                                                const vpod::VpodConfig& vc, int periods,
+                                                int pair_samples, int sample_every = 1,
+                                                std::uint64_t eval_seed = 1) {
+  eval::VpodRunner runner(topo, use_etx, vc);
+  eval::EvalOptions opts;
+  opts.use_etx = use_etx;
+  opts.pair_samples = pair_samples;
+  opts.seed = eval_seed;
+  std::vector<PeriodPoint> out;
+  int last_marked = 0;
+  for (int k = 0; k <= periods; ++k) {
+    runner.run_to_period(k);
+    if (k % sample_every != 0 && k != periods) continue;
+    PeriodPoint p;
+    p.period = k;
+    p.gdv = eval::eval_gdv(runner.snapshot(), topo, opts);
+    p.storage = runner.avg_storage();
+    const int window = k - last_marked;
+    p.msgs_per_node = runner.messages_per_node_since_mark() / std::max(window, 1);
+    last_marked = k;
+    out.push_back(p);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Plain-text series printing (one column per curve, like the figure's lines).
+
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+inline void print_table(const char* title, const char* x_label,
+                        const std::vector<double>& xs, const std::vector<Series>& series) {
+  std::printf("\n== %s ==\n", title);
+  std::printf("%-14s", x_label);
+  for (const Series& s : series) std::printf(" %22s", s.name.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::printf("%-14g", xs[i]);
+    for (const Series& s : series) {
+      if (i < s.values.size())
+        std::printf(" %22.3f", s.values[i]);
+      else
+        std::printf(" %22s", "-");
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace gdvr::bench

@@ -1,0 +1,58 @@
+// Figure 3: connectivity graph vs Delaunay triangulation graph vs MDT graph
+// of one set of 2D nodes. Emits edge counts and the edge-set relationships
+// the figure illustrates (MDT = physical links ∪ DT edges).
+#include <set>
+
+#include "common.hpp"
+#include "geom/delaunay.hpp"
+
+using namespace gdvr;
+using namespace gdvr::bench;
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  const radio::Topology topo = paper_topology(120, 303);
+  std::printf("Figure 3 | N=%d random 2D network%s\n", topo.size(), full ? " [full]" : " [quick]");
+
+  // (a) connectivity graph
+  std::set<std::pair<int, int>> conn;
+  for (int u = 0; u < topo.size(); ++u)
+    for (const graph::Edge& e : topo.hops.neighbors(u))
+      conn.emplace(std::min(u, e.to), std::max(u, e.to));
+
+  // (b) DT graph of the node locations
+  const geom::DelaunayGraph dt = geom::delaunay_graph(topo.positions);
+  std::set<std::pair<int, int>> dt_edges(dt.edges.begin(), dt.edges.end());
+
+  // (c) MDT graph = connectivity ∪ DT
+  std::set<std::pair<int, int>> mdt = conn;
+  mdt.insert(dt_edges.begin(), dt_edges.end());
+
+  int dt_not_physical = 0;
+  for (const auto& e : dt_edges)
+    if (!conn.count(e)) ++dt_not_physical;
+
+  std::printf("\n(a) connectivity graph: %zu physical links\n", conn.size());
+  std::printf("(b) DT graph:           %zu edges, of which %d are multi-hop (dashed in the paper)\n",
+              dt_edges.size(), dt_not_physical);
+  std::printf("(c) MDT graph:          %zu edges (= physical ∪ DT)\n", mdt.size());
+
+  // Invariants the figure depicts.
+  bool mdt_superset = true;
+  for (const auto& e : conn)
+    if (!mdt.count(e)) mdt_superset = false;
+  for (const auto& e : dt_edges)
+    if (!mdt.count(e)) mdt_superset = false;
+  std::printf("MDT contains every physical link and every DT edge: %s\n",
+              mdt_superset ? "yes" : "NO (bug!)");
+
+  if (full) {
+    std::printf("\nmulti-hop DT edges (u, v, euclidean distance):\n");
+    for (const auto& [u, v] : dt_edges)
+      if (!conn.count({u, v}))
+        std::printf("  %3d - %3d   %.1f m\n", u, v,
+                    topo.positions[static_cast<std::size_t>(u)].distance(
+                        topo.positions[static_cast<std::size_t>(v)]));
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 8: routing performance vs adjustment period for different
+// adjustment-timeout strategies (delta_u = 2 s, 10 s, adaptive), with the
+// MDT-on-actual-locations / NADV-on-actual-locations baselines.
+// (a) hop-count metric: routing stretch;  (b) ETX: transmissions/delivery.
+#include "common.hpp"
+
+using namespace gdvr;
+using namespace gdvr::bench;
+
+namespace {
+
+void run_metric(bool use_etx, const radio::Topology& topo, int periods, int pairs) {
+  struct Mode {
+    const char* name;
+    vpod::VpodConfig::TimeoutMode mode;
+    double fixed;
+  };
+  const Mode modes[] = {
+      {"fixed 2s", vpod::VpodConfig::TimeoutMode::kFixed, 2.0},
+      {"fixed 10s", vpod::VpodConfig::TimeoutMode::kFixed, 10.0},
+      {"adaptive", vpod::VpodConfig::TimeoutMode::kAdaptive, 0.0},
+  };
+
+  eval::EvalOptions opts;
+  opts.use_etx = use_etx;
+  opts.pair_samples = pairs;
+  const auto baseline = use_etx ? eval::eval_nadv_actual(topo, opts) : eval::eval_mdt_actual(topo, opts);
+
+  std::vector<double> xs;
+  std::vector<Series> series;
+  series.push_back({use_etx ? "NADV on actual" : "MDT on actual", {}});
+  for (const Mode& m : modes) {
+    vpod::VpodConfig vc = paper_vpod(3);
+    vc.timeout_mode = m.mode;
+    vc.fixed_timeout_s = m.fixed;
+    const auto points = run_vpod_series(topo, use_etx, vc, periods, pairs);
+    Series s{std::string("GDV VPoD ") + m.name, {}};
+    if (xs.empty())
+      for (const auto& p : points) xs.push_back(p.period);
+    for (const auto& p : points) {
+      s.values.push_back(use_etx ? p.gdv.transmissions : p.gdv.stretch);
+      if (series[0].values.size() < points.size())
+        series[0].values.push_back(use_etx ? baseline.transmissions : baseline.stretch);
+    }
+    series.push_back(std::move(s));
+  }
+  print_table(use_etx ? "Fig 8(b): ave. transmissions per delivery (ETX)"
+                      : "Fig 8(a): routing stretch (hop count)",
+              "period", xs, series);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  const int periods = full ? 25 : 15;
+  const int pairs = full ? 0 : 400;  // 0 = all pairs
+  const radio::Topology topo = paper_topology(200, 8101);
+  std::printf("Figure 8 | N=%d avg degree %.1f | Ta=20s, 3D virtual space%s\n", topo.size(),
+              topo.etx.average_degree(), full ? " [full]" : " [quick]");
+  run_metric(/*use_etx=*/false, topo, periods, pairs);
+  run_metric(/*use_etx=*/true, topo, periods, pairs);
+  return 0;
+}

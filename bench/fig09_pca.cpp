@@ -1,0 +1,54 @@
+// Figure 9: normalized singular values of the N x N routing-cost matrix vs
+// dimension index (1..15), for N = 200 / 600 / 1000, hop-count and ETX
+// metrics. Shows that the first ~3 singular values dominate, i.e. routing
+// costs embed well in a low-dimensional Euclidean space.
+#include "analysis/embedding.hpp"
+#include "analysis/svd.hpp"
+#include "common.hpp"
+
+using namespace gdvr;
+using namespace gdvr::bench;
+
+namespace {
+
+std::vector<double> averaged_singular_values(int n, bool use_etx, int networks, int k) {
+  std::vector<double> avg(static_cast<std::size_t>(k), 0.0);
+  for (int net = 0; net < networks; ++net) {
+    const radio::Topology topo = paper_topology(n, 900 + static_cast<std::uint64_t>(net) * 31 +
+                                                       (use_etx ? 7 : 0));
+    const analysis::Matrix costs = analysis::cost_matrix(topo.metric_graph(use_etx));
+    // Replace unreachable entries (none expected: largest component) by 0.
+    const auto sv = analysis::normalized(analysis::top_singular_values(costs, k, 40, 17));
+    for (int i = 0; i < k && i < static_cast<int>(sv.size()); ++i)
+      avg[static_cast<std::size_t>(i)] += sv[static_cast<std::size_t>(i)];
+  }
+  for (double& v : avg) v /= networks;
+  return avg;
+}
+
+void run_metric(bool use_etx, const std::vector<int>& sizes, int networks, int k) {
+  std::vector<double> xs;
+  for (int i = 1; i <= k; ++i) xs.push_back(i);
+  std::vector<Series> series;
+  for (int n : sizes) {
+    Series s{"N = " + std::to_string(n), averaged_singular_values(n, use_etx, networks, k)};
+    series.push_back(std::move(s));
+  }
+  print_table(use_etx ? "Fig 9(b): normalized singular values (ETX)"
+                      : "Fig 9(a): normalized singular values (hop count)",
+              "dimension", xs, series);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  const int networks = full ? 20 : 3;
+  const std::vector<int> sizes = full ? std::vector<int>{200, 600, 1000}
+                                      : std::vector<int>{200, 600};
+  std::printf("Figure 9 | %d networks per point%s\n", networks, full ? " [full]" : " [quick]");
+  run_metric(false, sizes, networks, 15);
+  run_metric(true, sizes, networks, 15);
+  std::printf("\nexpected shape: first ~3 singular values dominate; the 3rd grows with N.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 10: routing performance of GDV on VPoD in 2D, 3D and 4D virtual
+// spaces vs adjustment period, against the MDT / NADV baselines on actual
+// locations.
+#include "common.hpp"
+
+using namespace gdvr;
+using namespace gdvr::bench;
+
+namespace {
+
+void run_metric(bool use_etx, const radio::Topology& topo, int periods, int pairs) {
+  eval::EvalOptions opts;
+  opts.use_etx = use_etx;
+  opts.pair_samples = pairs;
+  const auto baseline =
+      use_etx ? eval::eval_nadv_actual(topo, opts) : eval::eval_mdt_actual(topo, opts);
+
+  std::vector<double> xs;
+  std::vector<Series> series;
+  series.push_back({use_etx ? "NADV on actual" : "MDT on actual", {}});
+  for (int dim : {2, 3, 4}) {
+    const auto points = run_vpod_series(topo, use_etx, paper_vpod(dim), periods, pairs);
+    Series s{"GDV VPoD " + std::to_string(dim) + "D", {}};
+    if (xs.empty())
+      for (const auto& p : points) xs.push_back(p.period);
+    for (const auto& p : points) {
+      s.values.push_back(use_etx ? p.gdv.transmissions : p.gdv.stretch);
+      if (series[0].values.size() < points.size())
+        series[0].values.push_back(use_etx ? baseline.transmissions : baseline.stretch);
+    }
+    series.push_back(std::move(s));
+  }
+  print_table(use_etx ? "Fig 10(b): ave. transmissions per delivery (ETX)"
+                      : "Fig 10(a): routing stretch (hop count)",
+              "period", xs, series);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  const int periods = full ? 25 : 12;
+  const int pairs = full ? 0 : 400;
+  const radio::Topology topo = paper_topology(200, 8101);
+  std::printf("Figure 10 | N=%d avg degree %.1f | adaptive timeout%s\n", topo.size(),
+              topo.etx.average_degree(), full ? " [full]" : " [quick]");
+  run_metric(false, topo, periods, pairs);
+  run_metric(true, topo, periods, pairs);
+  return 0;
+}

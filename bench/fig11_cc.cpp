@@ -1,0 +1,52 @@
+// Figure 11: impact of the tuning parameter c_c (0.02, 0.1, 0.3) on VPoD
+// convergence, 3D virtual space.
+#include "common.hpp"
+
+using namespace gdvr;
+using namespace gdvr::bench;
+
+namespace {
+
+void run_metric(bool use_etx, const radio::Topology& topo, int periods, int pairs) {
+  eval::EvalOptions opts;
+  opts.use_etx = use_etx;
+  opts.pair_samples = pairs;
+  const auto baseline =
+      use_etx ? eval::eval_nadv_actual(topo, opts) : eval::eval_mdt_actual(topo, opts);
+
+  std::vector<double> xs;
+  std::vector<Series> series;
+  series.push_back({use_etx ? "NADV on actual" : "MDT on actual", {}});
+  for (double cc : {0.02, 0.1, 0.3}) {
+    vpod::VpodConfig vc = paper_vpod(3);
+    vc.cc = cc;
+    const auto points = run_vpod_series(topo, use_etx, vc, periods, pairs);
+    char name[32];
+    std::snprintf(name, sizeof name, "GDV VPoD cc=%.2f", cc);
+    Series s{name, {}};
+    if (xs.empty())
+      for (const auto& p : points) xs.push_back(p.period);
+    for (const auto& p : points) {
+      s.values.push_back(use_etx ? p.gdv.transmissions : p.gdv.stretch);
+      if (series[0].values.size() < points.size())
+        series[0].values.push_back(use_etx ? baseline.transmissions : baseline.stretch);
+    }
+    series.push_back(std::move(s));
+  }
+  print_table(use_etx ? "Fig 11(b): ave. transmissions per delivery (ETX)"
+                      : "Fig 11(a): routing stretch (hop count)",
+              "period", xs, series);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  const int periods = full ? 25 : 12;
+  const int pairs = full ? 0 : 400;
+  const radio::Topology topo = paper_topology(200, 8101);
+  std::printf("Figure 11 | N=%d | c_c sweep, 3D%s\n", topo.size(), full ? " [full]" : " [quick]");
+  run_metric(false, topo, periods, pairs);
+  run_metric(true, topo, periods, pairs);
+  return 0;
+}

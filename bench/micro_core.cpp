@@ -1,0 +1,150 @@
+// Microbenchmarks (google-benchmark) for the performance-critical kernels:
+// d-dimensional Delaunay construction, geometric predicates, GDV forwarding
+// decisions, SVD, Dijkstra, and topology generation.
+#include <benchmark/benchmark.h>
+
+#include "analysis/embedding.hpp"
+#include "analysis/svd.hpp"
+#include "common/rng.hpp"
+#include "geom/delaunay.hpp"
+#include "geom/predicates.hpp"
+#include "graph/graph.hpp"
+#include "radio/topology.hpp"
+#include "routing/mdt_view.hpp"
+#include "routing/routers.hpp"
+
+namespace {
+
+using namespace gdvr;
+
+std::vector<Vec> random_points(int n, int dim, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Vec p(dim);
+    for (int c = 0; c < dim; ++c) p[c] = rng.uniform(0.0, 100.0);
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+void BM_DelaunayGraph(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int dim = static_cast<int>(state.range(1));
+  const auto pts = random_points(n, dim, 42);
+  for (auto _ : state) {
+    const auto dt = geom::delaunay_graph(pts);
+    benchmark::DoNotOptimize(dt.edges.size());
+  }
+  state.SetLabel("n=" + std::to_string(n) + " dim=" + std::to_string(dim));
+}
+BENCHMARK(BM_DelaunayGraph)
+    ->Args({30, 2})
+    ->Args({30, 3})
+    ->Args({30, 4})
+    ->Args({100, 2})
+    ->Args({100, 3})
+    ->Args({200, 3});
+
+void BM_InSpherePredicate(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const auto pts = random_points(dim + 1, dim, 7);
+  const auto q = random_points(1, dim, 8)[0];
+  for (auto _ : state) benchmark::DoNotOptimize(geom::in_sphere(pts, q));
+}
+BENCHMARK(BM_InSpherePredicate)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_Circumsphere(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const auto pts = random_points(dim + 1, dim, 9);
+  Vec center;
+  double r2 = 0.0;
+  for (auto _ : state) benchmark::DoNotOptimize(geom::circumsphere(pts, center, r2));
+}
+BENCHMARK(BM_Circumsphere)->Arg(2)->Arg(3)->Arg(4);
+
+struct RoutingFixture {
+  radio::Topology topo;
+  routing::MdtView view;
+  RoutingFixture() {
+    radio::TopologyConfig tc;
+    tc.n = 200;
+    tc.seed = 5;
+    tc.target_avg_degree = 14.5;
+    topo = radio::make_random_topology(tc);
+    view = routing::centralized_mdt(topo.positions, topo.etx);
+  }
+};
+
+void BM_GdvRoute(benchmark::State& state) {
+  static const RoutingFixture fx;
+  Rng rng(11);
+  for (auto _ : state) {
+    const int s = rng.uniform_index(fx.topo.size());
+    int t = rng.uniform_index(fx.topo.size() - 1);
+    if (t >= s) ++t;
+    benchmark::DoNotOptimize(routing::route_gdv(fx.view, s, t).cost);
+  }
+}
+BENCHMARK(BM_GdvRoute);
+
+void BM_MdtGreedyRoute(benchmark::State& state) {
+  static const RoutingFixture fx;
+  Rng rng(12);
+  for (auto _ : state) {
+    const int s = rng.uniform_index(fx.topo.size());
+    int t = rng.uniform_index(fx.topo.size() - 1);
+    if (t >= s) ++t;
+    benchmark::DoNotOptimize(routing::route_mdt_greedy(fx.view, s, t).cost);
+  }
+}
+BENCHMARK(BM_MdtGreedyRoute);
+
+void BM_Dijkstra(benchmark::State& state) {
+  static const RoutingFixture fx;
+  Rng rng(13);
+  for (auto _ : state) {
+    const int s = rng.uniform_index(fx.topo.size());
+    benchmark::DoNotOptimize(graph::dijkstra(fx.topo.etx, s).dist.size());
+  }
+}
+BENCHMARK(BM_Dijkstra);
+
+void BM_TopologyGeneration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  radio::TopologyConfig tc;
+  tc.n = n;
+  tc.seed = 21;
+  std::uint64_t seed = 21;
+  for (auto _ : state) {
+    tc.seed = seed++;
+    benchmark::DoNotOptimize(radio::make_random_topology(tc).size());
+  }
+}
+BENCHMARK(BM_TopologyGeneration)->Arg(100)->Arg(400);
+
+void BM_JacobiSvd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(31);
+  analysis::Matrix m(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) m.at(i, j) = rng.uniform(0.0, 1.0);
+  for (auto _ : state) benchmark::DoNotOptimize(analysis::jacobi_singular_values(m).front());
+}
+BENCHMARK(BM_JacobiSvd)->Arg(30)->Arg(60);
+
+void BM_TopSingularValues(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(33);
+  analysis::Matrix m(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) m.at(i, j) = rng.uniform(0.0, 1.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analysis::top_singular_values(m, 15, 30).front());
+}
+BENCHMARK(BM_TopSingularValues)->Arg(200)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Example: surviving mass node failure (paper Section IV-H).
+//
+// A disaster-response deployment: 200 relay nodes are air-dropped, the
+// network self-organizes with VPoD, and packets flow. Then a storm knocks
+// out 60% of the nodes and replacements are deployed into the same field.
+// The example tracks GDV's delivery rate and path quality through the
+// failure and the recovery, period by period.
+//
+//   $ ./build/examples/churn_rescue
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "eval/protocol_runner.hpp"
+#include "eval/routing_eval.hpp"
+#include "radio/topology.hpp"
+
+using namespace gdvr;
+
+int main() {
+  // A 320-site universe: 200 initial nodes plus 120 replacement sites that
+  // stay dark until the storm. Density tuned so ~200 alive nodes see the
+  // usual average degree of 14.5.
+  radio::TopologyConfig tc;
+  tc.n = 320;
+  tc.seed = 2024;
+  tc.width_m = 100.0;
+  tc.height_m = 100.0;
+  tc.target_avg_degree = 14.5 * 320.0 / 200.0;
+  const radio::Topology topo = radio::make_random_topology(tc);
+
+  std::vector<int> latent;
+  for (int u = 200; u < topo.size(); ++u) latent.push_back(u);
+
+  vpod::VpodConfig vc;
+  vc.dim = 3;
+  eval::VpodRunner runner(topo, /*use_etx=*/true, vc, {}, 7, latent);
+  std::printf("deployed %d nodes (plus %d replacement sites in reserve)\n\n", 200,
+              static_cast<int>(latent.size()));
+
+  const int storm_period = 6;
+  Rng rng(13);
+  bool stormed = false;
+  std::printf("%8s %10s %14s %12s\n", "period", "alive", "tx/delivery", "delivery");
+  for (int k = 0; k <= 14; ++k) {
+    runner.run_to_period(k);
+    if (!stormed && k == storm_period) {
+      stormed = true;
+      std::vector<int> victims;
+      while (victims.size() < 120) {
+        const int u = 1 + rng.uniform_index(199);
+        if (std::find(victims.begin(), victims.end(), u) == victims.end()) victims.push_back(u);
+      }
+      for (int v : victims) runner.protocol().fail_node(v);
+      for (int u : latent) runner.protocol().join_node(u);
+      std::printf("%8s --- storm: %zu nodes destroyed, %zu replacements deployed ---\n", "",
+                  victims.size(), latent.size());
+    }
+    const auto view = runner.snapshot();
+    int alive = 0;
+    for (int u = 0; u < view.size(); ++u)
+      if (view.is_alive(u)) ++alive;
+    eval::EvalOptions opts;
+    opts.use_etx = true;
+    opts.pair_samples = 300;
+    opts.seed = 100 + static_cast<std::uint64_t>(k);
+    opts.eligible = eval::largest_alive_component(view);
+    const auto stats = eval::eval_gdv(view, topo, opts);
+    std::printf("%8d %10d %14.2f %11.0f%%\n", k, alive, stats.transmissions,
+                100.0 * stats.success_rate);
+  }
+  std::printf("\nexpected shape: delivery dips right after the storm, then VPoD's\n"
+              "maintenance re-integrates the replacements within ~2-3 periods.\n");
+  return 0;
+}

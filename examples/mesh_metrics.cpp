@@ -1,0 +1,85 @@
+// Example: one network, two routing metrics.
+//
+// The same wireless mesh is embedded twice by VPoD -- once with hop count as
+// the routing metric, once with ETX -- demonstrating the paper's core claim:
+// GDV optimizes end-to-end cost for *any additive metric*, because the
+// virtual space itself is built from that metric. Each converged embedding
+// routes the same sampled pairs; every chosen path is then accounted under
+// BOTH metrics (hops actually walked, expected transmissions actually
+// spent), so the trade-off is visible directly.
+//
+//   $ ./build/examples/mesh_metrics
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "eval/protocol_runner.hpp"
+#include "eval/routing_eval.hpp"
+#include "radio/topology.hpp"
+
+using namespace gdvr;
+
+int main() {
+  radio::TopologyConfig tc;
+  tc.n = 200;
+  tc.seed = 31;
+  tc.target_avg_degree = 14.5;
+  const radio::Topology topo = radio::make_random_topology(tc);
+  std::printf("mesh: %d nodes, avg degree %.1f\n\n", topo.size(), topo.etx.average_degree());
+
+  // Optimal references for the sampled pairs.
+  Rng pair_rng(3);
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < 500; ++i) {
+    const int s = pair_rng.uniform_index(topo.size());
+    int t = pair_rng.uniform_index(topo.size() - 1);
+    if (t >= s) ++t;
+    pairs.emplace_back(s, t);
+  }
+
+  std::printf("%-26s %12s %16s %10s\n", "embedding metric", "mean hops", "mean ETX spent",
+              "delivery");
+  for (bool use_etx : {false, true}) {
+    vpod::VpodConfig vc;
+    vc.dim = 3;
+    eval::VpodRunner runner(topo, use_etx, vc);
+    runner.run_to_period(12);
+    const routing::MdtView view = runner.snapshot();
+
+    double hops = 0.0, etx = 0.0;
+    int delivered = 0;
+    for (const auto& [s, t] : pairs) {
+      const auto r = routing::route_gdv(view, s, t);
+      if (!r.success) continue;
+      ++delivered;
+      hops += r.transmissions;
+      for (std::size_t i = 0; i + 1 < r.path.size(); ++i)
+        etx += topo.etx.link_cost(r.path[i], r.path[i + 1]);
+    }
+    if (delivered > 0) {
+      hops /= delivered;
+      etx /= delivered;
+    }
+    std::printf("%-26s %12.2f %16.2f %9.0f%%\n", use_etx ? "ETX" : "hop count", hops, etx,
+                100.0 * delivered / pairs.size());
+  }
+
+  // Optimal bounds under each metric for context.
+  double opt_hops = 0.0, opt_etx = 0.0;
+  int count = 0;
+  std::map<int, std::vector<int>> hop_cache;
+  std::map<int, std::vector<double>> etx_cache;
+  for (const auto& [s, t] : pairs) {
+    if (!hop_cache.count(s)) hop_cache[s] = graph::bfs_hops(topo.hops, s);
+    if (!etx_cache.count(s)) etx_cache[s] = graph::dijkstra(topo.etx, s).dist;
+    if (hop_cache[s][static_cast<std::size_t>(t)] < 0) continue;
+    opt_hops += hop_cache[s][static_cast<std::size_t>(t)];
+    opt_etx += etx_cache[s][static_cast<std::size_t>(t)];
+    ++count;
+  }
+  std::printf("%-26s %12.2f %16.2f\n", "optimal (per metric)", opt_hops / count,
+              opt_etx / count);
+  std::printf("\nexpected shape: the hop embedding walks fewer hops but spends more\n"
+              "expected transmissions; the ETX embedding spends extra hops to ride\n"
+              "reliable links and lands near the ETX optimum.\n");
+  return 0;
+}

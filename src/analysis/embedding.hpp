@@ -1,0 +1,31 @@
+// Embedding-quality metrics: how well Euclidean distances between virtual
+// positions predict routing costs. Used to compare VPoD against 2-hop
+// Vivaldi quantitatively (paper Figures 2 and 5 show this visually).
+#pragma once
+
+#include <span>
+
+#include "analysis/matrix.hpp"
+#include "common/vec.hpp"
+#include "graph/graph.hpp"
+
+namespace gdvr::analysis {
+
+struct EmbeddingQuality {
+  double mean_rel_error = 0.0;    // mean |D~ - D| / D over all ordered pairs
+  double median_rel_error = 0.0;
+  double stress = 0.0;            // sqrt(sum (D~ - D)^2 / sum D^2)
+  // The paper's two requirements for useful virtual positions:
+  double local_rel_error = 0.0;   // pairs with cost <= 25th percentile ("nodes with low cost nearby")
+  double global_rel_error = 0.0;  // pairs with cost >= 75th percentile ("high cost far away")
+};
+
+// `costs` is the all-pairs routing-cost matrix (kInf entries and the diagonal
+// are skipped).
+EmbeddingQuality embedding_quality(std::span<const Vec> positions, const Matrix& costs);
+
+// All-pairs routing costs via one Dijkstra per source; unreachable pairs get
+// graph::kInf.
+Matrix cost_matrix(const graph::Graph& g);
+
+}  // namespace gdvr::analysis

@@ -1,0 +1,62 @@
+// Minimal dense row-major matrix for the PCA / SVD analysis (Figure 9).
+#pragma once
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace gdvr::analysis {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), fill) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& at(int r, int c) {
+    GDVR_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) + static_cast<std::size_t>(c)];
+  }
+  double at(int r, int c) const {
+    GDVR_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) + static_cast<std::size_t>(c)];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+
+  // y = A x
+  std::vector<double> mul(const std::vector<double>& x) const {
+    GDVR_ASSERT(static_cast<int>(x.size()) == cols_);
+    std::vector<double> y(static_cast<std::size_t>(rows_), 0.0);
+    for (int r = 0; r < rows_; ++r) {
+      double s = 0.0;
+      const double* row = &data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_)];
+      for (int c = 0; c < cols_; ++c) s += row[static_cast<std::size_t>(c)] * x[static_cast<std::size_t>(c)];
+      y[static_cast<std::size_t>(r)] = s;
+    }
+    return y;
+  }
+
+  // y = A^T x
+  std::vector<double> mul_transpose(const std::vector<double>& x) const {
+    GDVR_ASSERT(static_cast<int>(x.size()) == rows_);
+    std::vector<double> y(static_cast<std::size_t>(cols_), 0.0);
+    for (int r = 0; r < rows_; ++r) {
+      const double xr = x[static_cast<std::size_t>(r)];
+      if (xr == 0.0) continue;
+      const double* row = &data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_)];
+      for (int c = 0; c < cols_; ++c) y[static_cast<std::size_t>(c)] += row[static_cast<std::size_t>(c)] * xr;
+    }
+    return y;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace gdvr::analysis

@@ -1,0 +1,120 @@
+#include "analysis/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace gdvr::analysis {
+
+std::vector<double> jacobi_singular_values(const Matrix& a, int max_sweeps, double tol) {
+  const int m = a.rows(), n = a.cols();
+  // Column-major working copy: one-sided Jacobi orthogonalizes columns.
+  std::vector<std::vector<double>> col(static_cast<std::size_t>(n),
+                                       std::vector<double>(static_cast<std::size_t>(m)));
+  for (int r = 0; r < m; ++r)
+    for (int c = 0; c < n; ++c) col[static_cast<std::size_t>(c)][static_cast<std::size_t>(r)] = a.at(r, c);
+
+  double frob2 = 0.0;
+  for (const auto& c : col)
+    for (double x : c) frob2 += x * x;
+  const double off_tol = tol * tol * frob2;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (int i = 0; i < n - 1; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        auto& ci = col[static_cast<std::size_t>(i)];
+        auto& cj = col[static_cast<std::size_t>(j)];
+        double aii = 0.0, ajj = 0.0, aij = 0.0;
+        for (int r = 0; r < m; ++r) {
+          aii += ci[static_cast<std::size_t>(r)] * ci[static_cast<std::size_t>(r)];
+          ajj += cj[static_cast<std::size_t>(r)] * cj[static_cast<std::size_t>(r)];
+          aij += ci[static_cast<std::size_t>(r)] * cj[static_cast<std::size_t>(r)];
+        }
+        if (aij * aij <= off_tol * 1e-6 || aij == 0.0) continue;
+        // Jacobi rotation angle zeroing the off-diagonal of the 2x2 Gram block.
+        const double zeta = (ajj - aii) / (2.0 * aij);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double cs = 1.0 / std::sqrt(1.0 + t * t);
+        const double sn = cs * t;
+        for (int r = 0; r < m; ++r) {
+          const double vi = ci[static_cast<std::size_t>(r)];
+          const double vj = cj[static_cast<std::size_t>(r)];
+          ci[static_cast<std::size_t>(r)] = cs * vi - sn * vj;
+          cj[static_cast<std::size_t>(r)] = sn * vi + cs * vj;
+        }
+        rotated = true;
+      }
+    }
+    if (!rotated) break;
+  }
+
+  std::vector<double> sv(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    double s = 0.0;
+    for (double x : col[static_cast<std::size_t>(c)]) s += x * x;
+    sv[static_cast<std::size_t>(c)] = std::sqrt(s);
+  }
+  std::sort(sv.begin(), sv.end(), std::greater<>());
+  return sv;
+}
+
+namespace {
+
+// Modified Gram-Schmidt orthonormalization of k vectors of length n.
+void orthonormalize(std::vector<std::vector<double>>& q) {
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    auto& qi = q[i];
+    for (std::size_t j = 0; j < i; ++j) {
+      const auto& qj = q[j];
+      double dot = 0.0;
+      for (std::size_t r = 0; r < qi.size(); ++r) dot += qi[r] * qj[r];
+      for (std::size_t r = 0; r < qi.size(); ++r) qi[r] -= dot * qj[r];
+    }
+    double norm = 0.0;
+    for (double x : qi) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm < 1e-300) norm = 1.0;  // degenerate direction; leave as ~zero
+    for (double& x : qi) x /= norm;
+  }
+}
+
+}  // namespace
+
+std::vector<double> top_singular_values(const Matrix& a, int k, int iterations,
+                                        std::uint64_t seed) {
+  const int n = a.cols();
+  k = std::min(k, n);
+  Rng rng(seed);
+  std::vector<std::vector<double>> q(static_cast<std::size_t>(k),
+                                     std::vector<double>(static_cast<std::size_t>(n)));
+  for (auto& v : q)
+    for (double& x : v) x = rng.normal();
+  orthonormalize(q);
+
+  for (int it = 0; it < iterations; ++it) {
+    for (auto& v : q) v = a.mul_transpose(a.mul(v));  // v <- A^T A v
+    orthonormalize(q);
+  }
+
+  std::vector<double> sv(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    const auto av = a.mul(q[static_cast<std::size_t>(i)]);
+    double s = 0.0;
+    for (double x : av) s += x * x;
+    sv[static_cast<std::size_t>(i)] = std::sqrt(s);
+  }
+  std::sort(sv.begin(), sv.end(), std::greater<>());
+  return sv;
+}
+
+std::vector<double> normalized(std::vector<double> values) {
+  if (values.empty() || values.front() <= 0.0) return values;
+  const double top = values.front();
+  for (double& v : values) v /= top;
+  return values;
+}
+
+}  // namespace gdvr::analysis

@@ -1,0 +1,30 @@
+// Singular value computation for the PCA dimensionality study (Figure 9).
+//
+// Two engines:
+//  * jacobi_singular_values: one-sided Jacobi SVD, exact to working
+//    precision, O(n^3) -- used for small matrices and as the test oracle.
+//  * top_singular_values: randomized subspace iteration on A^T A -- returns
+//    the k largest singular values of big matrices (N = 1000 cost matrices)
+//    in O(k N^2 iters).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/matrix.hpp"
+
+namespace gdvr::analysis {
+
+// All singular values, descending. Destroys no input (copies internally).
+std::vector<double> jacobi_singular_values(const Matrix& a, int max_sweeps = 60,
+                                           double tol = 1e-12);
+
+// The k largest singular values, descending.
+std::vector<double> top_singular_values(const Matrix& a, int k, int iterations = 40,
+                                        std::uint64_t seed = 12345);
+
+// Normalizes a singular-value vector by its largest element (the paper plots
+// normalized singular values).
+std::vector<double> normalized(std::vector<double> values);
+
+}  // namespace gdvr::analysis

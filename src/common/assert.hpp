@@ -1,0 +1,30 @@
+// Lightweight always-on assertion macro for invariant checks.
+//
+// GDVR_ASSERT stays active in release builds: the protocols in this library
+// are distributed algorithms whose bugs manifest as silent divergence, so we
+// prefer a loud crash with context over undefined behaviour.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gdvr {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "GDVR_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace gdvr
+
+#define GDVR_ASSERT(expr)                                            \
+  do {                                                               \
+    if (!(expr)) ::gdvr::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define GDVR_ASSERT_MSG(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) ::gdvr::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

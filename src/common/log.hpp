@@ -1,0 +1,24 @@
+// Minimal leveled logging to stderr. Off (warn-and-above) by default so
+// experiment sweeps stay quiet; tests and examples can raise verbosity.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace gdvr {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+}  // namespace detail
+
+#define GDVR_LOG_DEBUG(...) ::gdvr::detail::vlog(::gdvr::LogLevel::kDebug, __VA_ARGS__)
+#define GDVR_LOG_INFO(...) ::gdvr::detail::vlog(::gdvr::LogLevel::kInfo, __VA_ARGS__)
+#define GDVR_LOG_WARN(...) ::gdvr::detail::vlog(::gdvr::LogLevel::kWarn, __VA_ARGS__)
+#define GDVR_LOG_ERROR(...) ::gdvr::detail::vlog(::gdvr::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace gdvr

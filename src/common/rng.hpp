@@ -1,0 +1,111 @@
+// Deterministic random number generation.
+//
+// Every experiment in this repository is seeded; the same seed reproduces the
+// same topology, the same message delays and the same routing results. We use
+// xoshiro256** seeded through SplitMix64 -- fast, high quality, and stable
+// across platforms (unlike std::mt19937 + std::distributions, whose outputs
+// are not specified bit-for-bit across standard library implementations).
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "common/vec.hpp"
+
+namespace gdvr {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Derive an independent child stream (for per-node / per-link randomness).
+  Rng split(std::uint64_t stream) {
+    return Rng(next_u64() ^ (0x9E3779B97F4A7C15ull * (stream + 1)));
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n).
+  std::uint64_t uniform_int(std::uint64_t n) {
+    GDVR_ASSERT(n > 0);
+    // Lemire's nearly-divisionless bounded sampling with rejection.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  int uniform_index(int n) { return static_cast<int>(uniform_int(static_cast<std::uint64_t>(n))); }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  }
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  // Uniform point inside the axis-aligned box [0,extent_0) x ... in `dim` dims.
+  Vec point_in_box(const Vec& extent) {
+    Vec p(extent.dim());
+    for (int i = 0; i < extent.dim(); ++i) p[i] = uniform(0.0, extent[i]);
+    return p;
+  }
+
+  // Uniform point on the sphere of given radius centered at `center`.
+  Vec point_on_sphere(const Vec& center, double radius) {
+    Vec dir(center.dim());
+    double n2 = 0.0;
+    do {
+      for (int i = 0; i < center.dim(); ++i) dir[i] = normal();
+      n2 = dir.norm2();
+    } while (n2 < 1e-12);
+    return center + dir * (radius / std::sqrt(n2));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace gdvr

@@ -1,0 +1,19 @@
+#include "common/vec.hpp"
+
+#include <cstdio>
+
+namespace gdvr {
+
+std::string Vec::to_string() const {
+  std::string s = "(";
+  char buf[32];
+  for (int i = 0; i < dim_; ++i) {
+    std::snprintf(buf, sizeof buf, "%.4g", (*this)[i]);
+    s += buf;
+    if (i + 1 < dim_) s += ", ";
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace gdvr

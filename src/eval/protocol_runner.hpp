@@ -1,0 +1,95 @@
+// Drives the VPoD / 2-hop-Vivaldi protocols over a topology inside the
+// discrete-event simulator and exposes per-adjustment-period snapshots --
+// the common skeleton of every time-series figure in the paper.
+#pragma once
+
+#include <memory>
+
+#include "eval/routing_eval.hpp"
+#include "radio/topology.hpp"
+#include "routing/mdt_view.hpp"
+#include "sim/simulator.hpp"
+#include "vivaldi/vivaldi.hpp"
+#include "vpod/vpod.hpp"
+
+namespace gdvr::eval {
+
+// Per-hop message delay range (paper: "random message delivery times ...
+// sampled from a uniform distribution over a specified time interval").
+struct DelayRange {
+  double min_s = 0.01;
+  double max_s = 0.1;
+};
+
+class VpodRunner {
+ public:
+  // `metric` selects the routing metric VPoD embeds (any positive additive
+  // metric from the topology: hop count, ETX, ETT, energy).
+  // `initially_dead` nodes do not participate from the start; churn
+  // experiments bring them in later with protocol().join_node().
+  VpodRunner(const radio::Topology& topo, radio::Metric metric, const vpod::VpodConfig& config,
+             DelayRange delays = {}, std::uint64_t net_seed = 99,
+             const std::vector<int>& initially_dead = {});
+  // Convenience: the paper's two headline metrics.
+  VpodRunner(const radio::Topology& topo, bool use_etx, const vpod::VpodConfig& config,
+             DelayRange delays = {}, std::uint64_t net_seed = 99,
+             const std::vector<int>& initially_dead = {})
+      : VpodRunner(topo, use_etx ? radio::Metric::kEtx : radio::Metric::kHopCount, config,
+                   delays, net_seed, initially_dead) {}
+
+  // Advances the simulation to the boundary where (approximately) every node
+  // has completed `k` adjustment periods. Monotone: k must not decrease.
+  void run_to_period(int k);
+
+  // Makes the control plane lossy: every protocol message over link (u, v)
+  // is dropped with probability 1 - PRR(u, v). Call before run_to_period.
+  void enable_control_loss() { net_->set_loss_from_etx(topo_.etx); }
+
+  vpod::Vpod& protocol() { return *vpod_; }
+  mdt::Net& net() { return *net_; }
+  sim::Simulator& simulator() { return sim_; }
+  const radio::Topology& topology() const { return topo_; }
+  radio::Metric metric() const { return metric_; }
+  bool use_etx() const { return metric_ == radio::Metric::kEtx; }
+
+  // Snapshot of the distributed MDT state for routing evaluation.
+  routing::MdtView snapshot() const;
+  // Average over alive nodes of the distinct-nodes-stored metric.
+  double avg_storage() const;
+  // Control messages per alive node since the previous call (per-period cost).
+  double messages_per_node_since_mark();
+
+ private:
+  const radio::Topology& topo_;
+  radio::Metric metric_;
+  sim::Simulator sim_;
+  std::unique_ptr<mdt::Net> net_;
+  std::unique_ptr<vpod::Vpod> vpod_;
+  double period_len_;
+  double start_offset_;
+  std::uint64_t msg_mark_ = 0;
+};
+
+class VivaldiRunner {
+ public:
+  VivaldiRunner(const radio::Topology& topo, bool use_etx, const vivaldi::VivaldiConfig& config,
+                DelayRange delays = {}, std::uint64_t net_seed = 99);
+
+  void run_to_period(int k);
+
+  vivaldi::TwoHopVivaldi& protocol() { return *viv_; }
+  sim::NetSim<vivaldi::VivMsg>& net() { return *net_; }
+  std::vector<Vec> positions() const { return viv_->positions(); }
+  double avg_storage() const;
+  double messages_per_node_since_mark();
+
+ private:
+  const radio::Topology& topo_;
+  sim::Simulator sim_;
+  std::unique_ptr<sim::NetSim<vivaldi::VivMsg>> net_;
+  std::unique_ptr<vivaldi::TwoHopVivaldi> viv_;
+  double period_len_;
+  std::uint64_t msg_mark_ = 0;
+};
+
+}  // namespace gdvr::eval

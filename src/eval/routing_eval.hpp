@@ -1,0 +1,74 @@
+// Routing-performance evaluation (paper Section IV-A).
+//
+// For the hop-count metric the criterion is routing stretch: selected-route
+// hops divided by shortest-path hops. For ETX it is the expected number of
+// transmissions per delivery: the sum of per-link ETX values along the
+// selected route. Results are averaged over source-destination pairs --
+// exhaustively, or over a deterministic sample for large networks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "radio/topology.hpp"
+#include "routing/routers.hpp"
+
+namespace gdvr::eval {
+
+struct RoutingStats {
+  double stretch = 0.0;            // hop metric: mean(selected hops / optimal hops)
+  double transmissions = 0.0;      // ETX metric: mean selected-path ETX (delivered only)
+  double optimal_transmissions = 0.0;  // ETX metric: mean shortest-path ETX
+  double success_rate = 1.0;
+  int pairs_evaluated = 0;
+};
+
+// Deterministic sample of ordered (s, t) pairs among `eligible` nodes.
+// count <= 0 selects all ordered pairs.
+std::vector<std::pair<int, int>> sample_pairs(const std::vector<int>& eligible, int count,
+                                              std::uint64_t seed);
+
+// All alive node ids of a view (or all ids when no liveness info).
+std::vector<int> alive_nodes(const routing::MdtView& view);
+
+using RouteFn = std::function<routing::RouteResult(int, int)>;
+
+// Evaluates `route` over the pairs. `metric` carries the metric costs the
+// router reports; `hops` is the unit-cost adjacency for optimal hop counts.
+RoutingStats evaluate_router(const RouteFn& route, const graph::Graph& metric,
+                             const graph::Graph& hops, bool use_etx,
+                             const std::vector<std::pair<int, int>>& pairs);
+
+// Convenience wrappers used by the figure benches ---------------------------
+
+struct EvalOptions {
+  int pair_samples = 500;  // <= 0: exhaustive
+  std::uint64_t seed = 1;
+  bool use_etx = false;
+  // When non-empty, restrict sources/destinations to these nodes (e.g. the
+  // largest alive component after churn). Otherwise all alive nodes.
+  std::vector<int> eligible;
+};
+
+// Largest connected component among the view's alive nodes (in the metric
+// graph) -- the eligible set for post-churn evaluation.
+std::vector<int> largest_alive_component(const routing::MdtView& view);
+
+RoutingStats eval_gdv(const routing::MdtView& view, const radio::Topology& topo,
+                      const EvalOptions& opts);
+RoutingStats eval_gdv_basic(const routing::MdtView& view, const radio::Topology& topo,
+                            const EvalOptions& opts);
+// MDT-greedy on actual node locations (centralized construction).
+RoutingStats eval_mdt_actual(const radio::Topology& topo, const EvalOptions& opts);
+// NADV on actual node locations.
+RoutingStats eval_nadv_actual(const radio::Topology& topo, const EvalOptions& opts);
+// GDV over arbitrary externally produced coordinates (e.g. 2-hop Vivaldi):
+// centralized MDT over those coordinates.
+RoutingStats eval_gdv_on_positions(std::span<const Vec> positions, const radio::Topology& topo,
+                                   const EvalOptions& opts);
+
+}  // namespace gdvr::eval

@@ -1,0 +1,63 @@
+#include "geom/brute_force.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "geom/predicates.hpp"
+
+namespace gdvr::geom {
+
+namespace {
+
+void for_each_subset(int n, int k, const std::function<void(const std::vector<int>&)>& fn) {
+  std::vector<int> idx(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) idx[static_cast<std::size_t>(i)] = i;
+  while (true) {
+    fn(idx);
+    int i = k - 1;
+    while (i >= 0 && idx[static_cast<std::size_t>(i)] == n - k + i) --i;
+    if (i < 0) break;
+    ++idx[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < k; ++j)
+      idx[static_cast<std::size_t>(j)] = idx[static_cast<std::size_t>(j - 1)] + 1;
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<int, int>> brute_force_delaunay_edges(std::span<const Vec> points,
+                                                            double tol) {
+  std::vector<std::pair<int, int>> edges;
+  const int n = static_cast<int>(points.size());
+  if (n < 2) return edges;
+  const int dim = points[0].dim();
+
+  if (n <= dim + 1) {
+    for (int u = 0; u < n; ++u)
+      for (int v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+    return edges;
+  }
+
+  std::vector<Vec> verts(static_cast<std::size_t>(dim) + 1, Vec(dim));
+  for_each_subset(n, dim + 1, [&](const std::vector<int>& idx) {
+    for (int i = 0; i <= dim; ++i)
+      verts[static_cast<std::size_t>(i)] = points[static_cast<std::size_t>(idx[static_cast<std::size_t>(i)])];
+    Vec center;
+    double radius2 = 0.0;
+    if (!circumsphere(verts, center, radius2)) return;
+    const double limit = radius2 * (1.0 - tol);
+    for (int p = 0; p < n; ++p) {
+      if (std::binary_search(idx.begin(), idx.end(), p)) continue;
+      if (points[static_cast<std::size_t>(p)].distance2(center) < limit) return;
+    }
+    for (std::size_t i = 0; i < idx.size(); ++i)
+      for (std::size_t j = i + 1; j < idx.size(); ++j)
+        edges.emplace_back(std::min(idx[i], idx[j]), std::max(idx[i], idx[j]));
+  });
+
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+}  // namespace gdvr::geom

@@ -1,0 +1,22 @@
+// Brute-force Delaunay oracle used by the test suite.
+//
+// Enumerates every (d+1)-subset of the input, keeps those whose circumsphere
+// is empty of all other points, and returns the union of their edges. This is
+// O(n^(d+2)) and only suitable for small n, but it is an independent
+// implementation against which the incremental triangulation is validated.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/vec.hpp"
+
+namespace gdvr::geom {
+
+// Edge set (u < v, sorted) of the Delaunay graph, by exhaustive search.
+// `tol` is the relative slack on the empty-circumsphere test.
+std::vector<std::pair<int, int>> brute_force_delaunay_edges(std::span<const Vec> points,
+                                                            double tol = 1e-9);
+
+}  // namespace gdvr::geom

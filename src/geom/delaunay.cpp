@@ -1,0 +1,354 @@
+#include "geom/delaunay.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/log.hpp"
+#include "geom/predicates.hpp"
+
+namespace gdvr::geom {
+
+namespace {
+
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Deterministic jitter in [-1, 1) keyed by (seed, point index, coordinate).
+double jitter_unit(std::uint64_t seed, std::size_t idx, int coord) {
+  const std::uint64_t h = splitmix(seed ^ splitmix(idx * 131 + static_cast<std::uint64_t>(coord)));
+  return static_cast<double>(h >> 11) * 0x1.0p-52 - 1.0;
+}
+
+double bbox_diagonal(std::span<const Vec> points) {
+  if (points.empty()) return 1.0;
+  const int dim = points[0].dim();
+  Vec lo = points[0], hi = points[0];
+  for (const Vec& p : points)
+    for (int c = 0; c < dim; ++c) {
+      lo[c] = std::min(lo[c], p[c]);
+      hi[c] = std::max(hi[c], p[c]);
+    }
+  const double diag = lo.distance(hi);
+  return diag > 0.0 ? diag : 1.0;
+}
+
+// Sorted facet key: the dim vertex ids of a facet (dim <= 12).
+using FacetKey = std::array<int, 12>;
+
+FacetKey facet_key(const Triangulation::Cell& c, int skip, int dim) {
+  FacetKey key;
+  key.fill(INT32_MAX);
+  int w = 0;
+  for (int i = 0; i <= dim; ++i)
+    if (i != skip) key[static_cast<std::size_t>(w++)] = c.v[static_cast<std::size_t>(i)];
+  std::sort(key.begin(), key.begin() + dim);
+  return key;
+}
+
+}  // namespace
+
+bool DelaunayGraph::has_edge(int u, int v) const {
+  const auto& n = nbrs[static_cast<std::size_t>(u)];
+  return std::binary_search(n.begin(), n.end(), v);
+}
+
+int Triangulation::infinite_index(const Cell& c) const {
+  for (int i = 0; i <= dim_; ++i)
+    if (c.v[static_cast<std::size_t>(i)] == kInfinite) return i;
+  return -1;
+}
+
+bool Triangulation::init_first_simplex(std::vector<int>& chosen) {
+  const int n = static_cast<int>(pts_.size());
+  const double diag = bbox_diagonal(pts_);
+  const double tol = 1e-12 * diag;
+  chosen.clear();
+  chosen.push_back(0);
+  // Greedy affine-rank growth with Gram-Schmidt on difference vectors.
+  std::vector<Vec> basis;
+  for (int i = 1; i < n && static_cast<int>(chosen.size()) < dim_ + 1; ++i) {
+    Vec r = pts_[static_cast<std::size_t>(i)] - pts_[static_cast<std::size_t>(chosen[0])];
+    for (const Vec& b : basis) r -= b * r.dot(b);
+    if (r.norm() > tol) {
+      basis.push_back(r.unit());
+      chosen.push_back(i);
+    }
+  }
+  return static_cast<int>(chosen.size()) == dim_ + 1;
+}
+
+bool Triangulation::in_conflict(const Cell& c, const Vec& p) const {
+  const int inf = infinite_index(c);
+  std::array<Vec, kMaxVerts> verts;
+  if (inf < 0) {
+    // Cached circumsphere: one squared-distance comparison.
+    double d2 = 0.0;
+    for (int i = 0; i < dim_; ++i) {
+      const double diff = p[i] - c.center[i];
+      d2 += diff * diff;
+    }
+    return d2 < c.radius2;
+  }
+  // Infinite cell: conflict iff p lies strictly on the outer side of the
+  // hull facet F, or on F's hyperplane but inside the circumsphere of the
+  // adjacent finite cell.
+  int w = 0;
+  for (int i = 0; i <= dim_; ++i)
+    if (i != inf)
+      verts[static_cast<std::size_t>(w++)] =
+          pts_[static_cast<std::size_t>(c.v[static_cast<std::size_t>(i)])];
+  const Cell& fin = cells_[static_cast<std::size_t>(c.nbr[static_cast<std::size_t>(inf)])];
+  if (infinite_index(fin) >= 0) return false;  // degenerate flat hull; retry path handles it
+  // Find the vertex of `fin` that is not on the facet.
+  int apex = -1;
+  for (int i = 0; i <= dim_; ++i) {
+    const int fv = fin.v[static_cast<std::size_t>(i)];
+    bool on_facet = false;
+    for (int j = 0; j <= dim_; ++j)
+      if (j != inf && c.v[static_cast<std::size_t>(j)] == fv) on_facet = true;
+    if (!on_facet) {
+      apex = fv;
+      break;
+    }
+  }
+  if (apex < 0) return false;
+  verts[static_cast<std::size_t>(dim_)] = p;
+  const double op = orient({verts.data(), static_cast<std::size_t>(dim_ + 1)});
+  verts[static_cast<std::size_t>(dim_)] = pts_[static_cast<std::size_t>(apex)];
+  const double ow = orient({verts.data(), static_cast<std::size_t>(dim_ + 1)});
+  if (ow == 0.0) return false;
+  if (op == 0.0) return p.distance2(fin.center) < fin.radius2;
+  return (op > 0.0) != (ow > 0.0);
+}
+
+bool Triangulation::cache_circumsphere(Cell& c) {
+  if (infinite_index(c) >= 0) return true;  // infinite cells need no sphere
+  std::array<Vec, kMaxVerts> verts;
+  for (int i = 0; i <= dim_; ++i)
+    verts[static_cast<std::size_t>(i)] =
+        pts_[static_cast<std::size_t>(c.v[static_cast<std::size_t>(i)])];
+  return circumsphere({verts.data(), static_cast<std::size_t>(dim_ + 1)}, c.center, c.radius2);
+}
+
+bool Triangulation::build(std::span<const Vec> points) {
+  GDVR_ASSERT(!points.empty());
+  dim_ = points[0].dim();
+  GDVR_ASSERT(dim_ >= 2 && dim_ <= 12);
+  const int n = static_cast<int>(points.size());
+  if (n < dim_ + 1) return false;
+
+  // Jittered working copies.
+  pts_.assign(points.begin(), points.end());
+  const double diag = bbox_diagonal(points);
+  const double mag = jitter_rel_ * diag;
+  for (std::size_t i = 0; i < pts_.size(); ++i)
+    for (int c = 0; c < dim_; ++c) pts_[i][c] += mag * jitter_unit(jitter_seed_, i, c);
+
+  cells_.clear();
+  std::vector<int> chosen;
+  if (!init_first_simplex(chosen)) return false;
+
+  // Initial complex: one finite cell plus one infinite cell per facet.
+  {
+    Cell fin;
+    fin.nbr.fill(-1);
+    for (int i = 0; i <= dim_; ++i) fin.v[static_cast<std::size_t>(i)] = chosen[static_cast<std::size_t>(i)];
+    if (!cache_circumsphere(fin)) return false;
+    cells_.push_back(fin);
+    for (int k = 0; k <= dim_; ++k) {
+      Cell inf;
+      inf.nbr.fill(-1);
+      int w = 0;
+      for (int i = 0; i <= dim_; ++i)
+        if (i != k) inf.v[static_cast<std::size_t>(w++)] = chosen[static_cast<std::size_t>(i)];
+      inf.v[static_cast<std::size_t>(dim_)] = kInfinite;
+      cells_.push_back(inf);
+    }
+    // Wire adjacency by matching facets (sorted vertex tuples).
+    std::map<FacetKey, std::pair<int, int>> open_facets;
+    for (int ci = 0; ci < static_cast<int>(cells_.size()); ++ci) {
+      Cell& c = cells_[static_cast<std::size_t>(ci)];
+      for (int k = 0; k <= dim_; ++k) {
+        const FacetKey key = facet_key(c, k, dim_);
+        auto it = open_facets.find(key);
+        if (it == open_facets.end()) {
+          open_facets.emplace(key, std::make_pair(ci, k));
+        } else {
+          const auto [cj, kj] = it->second;
+          c.nbr[static_cast<std::size_t>(k)] = cj;
+          cells_[static_cast<std::size_t>(cj)].nbr[static_cast<std::size_t>(kj)] = ci;
+          open_facets.erase(it);
+        }
+      }
+    }
+    if (!open_facets.empty()) return false;
+  }
+
+  // Insert the remaining points.
+  std::vector<char> is_chosen(static_cast<std::size_t>(n), 0);
+  for (int c : chosen) is_chosen[static_cast<std::size_t>(c)] = 1;
+  for (int p = 0; p < n; ++p) {
+    if (is_chosen[static_cast<std::size_t>(p)]) continue;
+    if (!insert(p)) return false;
+  }
+  return true;
+}
+
+bool Triangulation::insert(int p) {
+  const Vec& q = pts_[static_cast<std::size_t>(p)];
+
+  // Conflict region: linear scan over alive cells. Candidate sets in the MDT
+  // protocols are tens of points, and centralized builds are offline, so the
+  // simplicity/robustness of a full scan beats a walk here.
+  std::vector<char> conflict(cells_.size(), 0);
+  bool any = false;
+  for (std::size_t ci = 0; ci < cells_.size(); ++ci) {
+    if (!cells_[ci].alive) continue;
+    if (in_conflict(cells_[ci], q)) {
+      conflict[ci] = 1;
+      any = true;
+    }
+  }
+  if (!any) return false;
+
+  // Build one new cell per boundary facet of the conflict region.
+  std::vector<int> created;
+  std::map<FacetKey, std::pair<int, int>> open_ridges;
+  const std::size_t existing = cells_.size();
+  for (std::size_t ci = 0; ci < existing; ++ci) {
+    if (!conflict[ci]) continue;
+    for (int k = 0; k <= dim_; ++k) {
+      const int nb = cells_[ci].nbr[static_cast<std::size_t>(k)];
+      if (nb < 0 || conflict[static_cast<std::size_t>(nb)]) continue;
+      // Boundary facet: vertices of the dying cell except v[k]; the facet
+      // survives and gets joined to p. p sits at index dim_, opposite it.
+      Cell fresh;
+      fresh.nbr.fill(-1);
+      int w = 0;
+      for (int i = 0; i <= dim_; ++i)
+        if (i != k) fresh.v[static_cast<std::size_t>(w++)] = cells_[ci].v[static_cast<std::size_t>(i)];
+      fresh.v[static_cast<std::size_t>(dim_)] = p;
+      fresh.nbr[static_cast<std::size_t>(dim_)] = nb;
+      const int fresh_id = static_cast<int>(cells_.size());
+      // Redirect the outside neighbor's pointer from the dying cell to us.
+      Cell& out = cells_[static_cast<std::size_t>(nb)];
+      bool redirected = false;
+      for (int j = 0; j <= dim_; ++j)
+        if (out.nbr[static_cast<std::size_t>(j)] == static_cast<int>(ci)) {
+          out.nbr[static_cast<std::size_t>(j)] = fresh_id;
+          redirected = true;
+          break;
+        }
+      if (!redirected) return false;
+      if (!cache_circumsphere(fresh)) return false;  // degenerate: retry with more jitter
+      cells_.push_back(fresh);
+      created.push_back(fresh_id);
+    }
+  }
+  if (created.empty()) return false;
+
+  // Wire new-cell-to-new-cell adjacency across ridges (facets containing p).
+  for (int ci : created) {
+    Cell& c = cells_[static_cast<std::size_t>(ci)];
+    for (int k = 0; k < dim_; ++k) {  // facets opposite each non-p vertex
+      const FacetKey key = facet_key(c, k, dim_);
+      auto it = open_ridges.find(key);
+      if (it == open_ridges.end()) {
+        open_ridges.emplace(key, std::make_pair(ci, k));
+      } else {
+        const auto [cj, kj] = it->second;
+        c.nbr[static_cast<std::size_t>(k)] = cj;
+        cells_[static_cast<std::size_t>(cj)].nbr[static_cast<std::size_t>(kj)] = ci;
+        open_ridges.erase(it);
+      }
+    }
+  }
+  if (!open_ridges.empty()) return false;  // inconsistent region; caller retries
+
+  for (std::size_t ci = 0; ci < conflict.size(); ++ci)
+    if (conflict[ci]) cells_[ci].alive = false;
+  return true;
+}
+
+std::vector<std::pair<int, int>> Triangulation::finite_edges() const {
+  std::vector<std::pair<int, int>> edges;
+  for (const Cell& c : cells_) {
+    if (!c.alive || infinite_index(c) >= 0) continue;
+    for (int i = 0; i <= dim_; ++i)
+      for (int j = i + 1; j <= dim_; ++j)
+        edges.emplace_back(std::min(c.v[static_cast<std::size_t>(i)], c.v[static_cast<std::size_t>(j)]),
+                           std::max(c.v[static_cast<std::size_t>(i)], c.v[static_cast<std::size_t>(j)]));
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+bool Triangulation::empty_circumsphere_property(double tol) const {
+  std::array<Vec, kMaxVerts> verts;
+  for (const Cell& c : cells_) {
+    if (!c.alive || infinite_index(c) >= 0) continue;
+    for (int i = 0; i <= dim_; ++i)
+      verts[static_cast<std::size_t>(i)] =
+          pts_[static_cast<std::size_t>(c.v[static_cast<std::size_t>(i)])];
+    for (std::size_t pi = 0; pi < pts_.size(); ++pi) {
+      bool is_vertex = false;
+      for (int i = 0; i <= dim_; ++i)
+        if (c.v[static_cast<std::size_t>(i)] == static_cast<int>(pi)) is_vertex = true;
+      if (is_vertex) continue;
+      if (in_sphere({verts.data(), static_cast<std::size_t>(dim_ + 1)}, pts_[pi]) > tol)
+        return false;
+    }
+  }
+  return true;
+}
+
+DelaunayGraph delaunay_graph(std::span<const Vec> points, const DelaunayOptions& opts) {
+  DelaunayGraph g;
+  const int n = static_cast<int>(points.size());
+  g.dim = points.empty() ? 0 : points[0].dim();
+  g.nbrs.assign(static_cast<std::size_t>(n), {});
+  if (n <= 1) return g;
+
+  auto complete = [&] {
+    for (int u = 0; u < n; ++u)
+      for (int v = u + 1; v < n; ++v) g.edges.emplace_back(u, v);
+  };
+
+  // With at most dim+1 points in general position, every pair is a Delaunay
+  // neighbor; return the complete graph directly.
+  if (n <= g.dim + 1) {
+    complete();
+  } else {
+    bool built = false;
+    double rel = opts.jitter_rel;
+    for (int attempt = 0; attempt < opts.max_attempts && !built; ++attempt, rel *= 1e3) {
+      Triangulation t;
+      t.set_jitter(rel, opts.jitter_seed + static_cast<std::uint64_t>(attempt) * 0x1234567ull);
+      if (t.build(points)) {
+        g.edges = t.finite_edges();
+        built = true;
+      }
+    }
+    if (!built) {
+      GDVR_LOG_WARN("delaunay_graph: triangulation failed after retries (n=%d dim=%d); "
+                    "falling back to complete graph",
+                    n, g.dim);
+      g.complete_graph_fallback = true;
+      complete();
+    }
+  }
+
+  for (const auto& [u, v] : g.edges) {
+    g.nbrs[static_cast<std::size_t>(u)].push_back(v);
+    g.nbrs[static_cast<std::size_t>(v)].push_back(u);
+  }
+  for (auto& lst : g.nbrs) std::sort(lst.begin(), lst.end());
+  return g;
+}
+
+}  // namespace gdvr::geom

@@ -1,0 +1,110 @@
+// Incremental Delaunay triangulation in arbitrary dimension (2 <= d <= 8).
+//
+// This is the geometric engine under both MDT (multi-hop Delaunay
+// triangulation) and VPoD: every node repeatedly computes the Delaunay
+// neighbors of its own (virtual) position within a small candidate set, and
+// the centralized baselines / test oracles triangulate whole networks.
+//
+// Algorithm: Bowyer-Watson insertion with a single symbolic infinite vertex
+// (the CGAL convention). A cell is either finite (d+1 real vertices) or
+// infinite (a convex-hull facet joined to the infinite vertex). Conflict
+// tests on finite cells use the lifted in-sphere predicate; on infinite
+// cells they reduce to a hull-visibility orientation test, so no gigantic
+// super-simplex coordinates are ever involved.
+//
+// Robustness: inputs are deterministically jittered (paper Section II-B also
+// jitters positions to avoid degeneracy). If an insertion still produces an
+// inconsistent conflict region, the build retries with a larger jitter and
+// finally falls back to reporting the complete graph, which is a safe
+// over-approximation of DT neighbors for the MDT protocols.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/vec.hpp"
+
+namespace gdvr::geom {
+
+struct DelaunayOptions {
+  // Jitter magnitude relative to the point set's bounding-box diagonal.
+  double jitter_rel = 1e-9;
+  // Seed for the deterministic per-index jitter.
+  std::uint64_t jitter_seed = 0x5eedULL;
+  // Maximum rebuild attempts (jitter grows 1000x per attempt).
+  int max_attempts = 3;
+};
+
+// The Delaunay *graph* of a point set: per-point sorted neighbor lists plus
+// the edge list (u < v). This is all the routing protocols consume.
+struct DelaunayGraph {
+  int dim = 0;
+  // True when the input was degenerate (affine rank < dim) or triangulation
+  // failed after retries; in that case the complete graph is returned.
+  bool complete_graph_fallback = false;
+  std::vector<std::vector<int>> nbrs;
+  std::vector<std::pair<int, int>> edges;
+
+  bool has_edge(int u, int v) const;
+};
+
+DelaunayGraph delaunay_graph(std::span<const Vec> points, const DelaunayOptions& opts = {});
+
+// Exposed for tests and benchmarks: the full cell complex.
+class Triangulation {
+ public:
+  static constexpr int kInfinite = -1;
+  static constexpr int kMaxVerts = 13;  // dim + 1 for dim <= 12
+
+  struct Cell {
+    // Vertex indices (kInfinite possible) and the neighbor cell across the
+    // facet opposite each vertex; entries 0..dim are valid.
+    std::array<int, kMaxVerts> v;
+    std::array<int, kMaxVerts> nbr;
+    // Cached circumsphere (finite cells only): conflict tests reduce to one
+    // squared-distance comparison instead of a determinant evaluation.
+    Vec center;
+    double radius2 = 0.0;
+    bool alive = true;
+  };
+
+  // Builds the triangulation of jittered copies of `points`. Returns false if
+  // the input is degenerate or an insertion failed (caller should retry or
+  // fall back).
+  bool build(std::span<const Vec> points);
+
+  int dim() const { return dim_; }
+  const std::vector<Cell>& cells() const { return cells_; }
+  const std::vector<Vec>& jittered_points() const { return pts_; }
+
+  // Collect the finite-finite edge set (u < v, deduplicated).
+  std::vector<std::pair<int, int>> finite_edges() const;
+
+  // Validation helper for tests: true iff no jittered input point lies
+  // strictly inside the circumsphere of any alive finite cell (tolerance is
+  // absolute on the predicate value).
+  bool empty_circumsphere_property(double tol = 1e-9) const;
+
+  void set_jitter(double rel, std::uint64_t seed) {
+    jitter_rel_ = rel;
+    jitter_seed_ = seed;
+  }
+
+ private:
+  bool init_first_simplex(std::vector<int>& chosen);
+  bool insert(int p);
+  bool in_conflict(const Cell& c, const Vec& p) const;
+  bool cache_circumsphere(Cell& c);
+  int infinite_index(const Cell& c) const;
+
+  int dim_ = 0;
+  double jitter_rel_ = 1e-9;
+  std::uint64_t jitter_seed_ = 0x5eedULL;
+  std::vector<Vec> pts_;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace gdvr::geom

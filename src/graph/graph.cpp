@@ -1,0 +1,112 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace gdvr::graph {
+
+Graph Graph::induced_subgraph(std::span<const int> keep, std::vector<int>* old_ids) const {
+  std::vector<int> remap(static_cast<std::size_t>(size()), -1);
+  for (std::size_t i = 0; i < keep.size(); ++i) remap[static_cast<std::size_t>(keep[i])] = static_cast<int>(i);
+  Graph g(static_cast<int>(keep.size()));
+  for (int u : keep) {
+    const int nu = remap[static_cast<std::size_t>(u)];
+    for (const Edge& e : neighbors(u)) {
+      const int nv = remap[static_cast<std::size_t>(e.to)];
+      if (nv >= 0) g.add_edge(nu, nv, e.cost);
+    }
+  }
+  if (old_ids) old_ids->assign(keep.begin(), keep.end());
+  return g;
+}
+
+ShortestPaths dijkstra(const Graph& g, int src) {
+  const int n = g.size();
+  ShortestPaths sp;
+  sp.dist.assign(static_cast<std::size_t>(n), kInf);
+  sp.parent.assign(static_cast<std::size_t>(n), -1);
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  sp.dist[static_cast<std::size_t>(src)] = 0.0;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > sp.dist[static_cast<std::size_t>(u)]) continue;
+    for (const Edge& e : g.neighbors(u)) {
+      const double nd = d + e.cost;
+      if (nd < sp.dist[static_cast<std::size_t>(e.to)]) {
+        sp.dist[static_cast<std::size_t>(e.to)] = nd;
+        sp.parent[static_cast<std::size_t>(e.to)] = u;
+        pq.emplace(nd, e.to);
+      }
+    }
+  }
+  return sp;
+}
+
+std::vector<int> bfs_hops(const Graph& g, int src) {
+  std::vector<int> hops(static_cast<std::size_t>(g.size()), -1);
+  std::queue<int> q;
+  hops[static_cast<std::size_t>(src)] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (const Edge& e : g.neighbors(u)) {
+      if (hops[static_cast<std::size_t>(e.to)] < 0) {
+        hops[static_cast<std::size_t>(e.to)] = hops[static_cast<std::size_t>(u)] + 1;
+        q.push(e.to);
+      }
+    }
+  }
+  return hops;
+}
+
+std::vector<int> extract_path(const ShortestPaths& sp, int dst) {
+  std::vector<int> path;
+  if (dst < 0 || dst >= static_cast<int>(sp.dist.size()) ||
+      sp.dist[static_cast<std::size_t>(dst)] == kInf)
+    return path;
+  for (int u = dst; u >= 0; u = sp.parent[static_cast<std::size_t>(u)]) path.push_back(u);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<int> largest_component(const Graph& g) {
+  const int n = g.size();
+  std::vector<int> comp(static_cast<std::size_t>(n), -1);
+  int best_id = -1;
+  std::size_t best_size = 0;
+  int next = 0;
+  for (int s = 0; s < n; ++s) {
+    if (comp[static_cast<std::size_t>(s)] >= 0) continue;
+    const int id = next++;
+    std::size_t count = 0;
+    std::queue<int> q;
+    comp[static_cast<std::size_t>(s)] = id;
+    q.push(s);
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      ++count;
+      for (const Edge& e : g.neighbors(u)) {
+        if (comp[static_cast<std::size_t>(e.to)] < 0) {
+          comp[static_cast<std::size_t>(e.to)] = id;
+          q.push(e.to);
+        }
+      }
+    }
+    if (count > best_size) {
+      best_size = count;
+      best_id = id;
+    }
+  }
+  std::vector<int> nodes;
+  nodes.reserve(best_size);
+  for (int u = 0; u < n; ++u)
+    if (comp[static_cast<std::size_t>(u)] == best_id) nodes.push_back(u);
+  return nodes;
+}
+
+}  // namespace gdvr::graph

@@ -1,0 +1,105 @@
+// Directed weighted connectivity graph plus shortest-path utilities.
+//
+// Link costs are per-direction (the paper's metrics may be asymmetric, e.g.
+// ETX measured separately for each direction). Hop count is modeled as a
+// unit-cost view of the same adjacency.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace gdvr::graph {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Edge {
+  int to = -1;
+  double cost = 1.0;  // cost of the directed link (from, to)
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int n) : adj_(static_cast<std::size_t>(n)) {}
+
+  int size() const { return static_cast<int>(adj_.size()); }
+
+  void add_edge(int from, int to, double cost) {
+    GDVR_ASSERT(from >= 0 && from < size() && to >= 0 && to < size() && from != to);
+    GDVR_ASSERT_MSG(cost > 0.0, "routing metrics must be positive");
+    adj_[static_cast<std::size_t>(from)].push_back({to, cost});
+  }
+
+  // Adds both directions with (possibly different) costs.
+  void add_bidirectional(int u, int v, double cost_uv, double cost_vu) {
+    add_edge(u, v, cost_uv);
+    add_edge(v, u, cost_vu);
+  }
+
+  std::span<const Edge> neighbors(int u) const {
+    return adj_[static_cast<std::size_t>(u)];
+  }
+
+  // Directed cost of link (u, v); kInf if absent.
+  double link_cost(int u, int v) const {
+    for (const Edge& e : neighbors(u))
+      if (e.to == v) return e.cost;
+    return kInf;
+  }
+
+  bool has_edge(int u, int v) const { return link_cost(u, v) < kInf; }
+
+  int degree(int u) const { return static_cast<int>(adj_[static_cast<std::size_t>(u)].size()); }
+
+  double average_degree() const {
+    if (size() == 0) return 0.0;
+    std::size_t total = 0;
+    for (const auto& a : adj_) total += a.size();
+    return static_cast<double>(total) / static_cast<double>(size());
+  }
+
+  std::size_t edge_count() const {
+    std::size_t total = 0;
+    for (const auto& a : adj_) total += a.size();
+    return total;
+  }
+
+  // Same adjacency with every cost replaced by 1 (hop-count metric).
+  Graph with_unit_costs() const {
+    Graph g(size());
+    for (int u = 0; u < size(); ++u)
+      for (const Edge& e : neighbors(u)) g.add_edge(u, e.to, 1.0);
+    return g;
+  }
+
+  // Keeps only the listed nodes (compacted ids in list order). Used by the
+  // topology generator to restrict to the largest connected component and by
+  // churn experiments. `old_ids` returns the original id of each new node.
+  Graph induced_subgraph(std::span<const int> keep, std::vector<int>* old_ids = nullptr) const;
+
+ private:
+  std::vector<std::vector<Edge>> adj_;
+};
+
+struct ShortestPaths {
+  std::vector<double> dist;    // kInf when unreachable
+  std::vector<int> parent;     // -1 for source / unreachable
+};
+
+// Dijkstra from `src` over directed costs.
+ShortestPaths dijkstra(const Graph& g, int src);
+
+// Minimum hop counts from `src` (BFS); -1 when unreachable.
+std::vector<int> bfs_hops(const Graph& g, int src);
+
+// Reconstructs the path src -> dst from a parent array; empty if unreachable.
+std::vector<int> extract_path(const ShortestPaths& sp, int dst);
+
+// Node ids of the largest connected component, treating edges as undirected.
+std::vector<int> largest_component(const Graph& g);
+
+}  // namespace gdvr::graph

@@ -1,0 +1,86 @@
+// Protocol messages shared by MDT and VPoD.
+//
+// One envelope type serves every control message so a single NetSim instance
+// carries the whole protocol stack (the paper piggybacks VPoD fields on MDT
+// messages the same way). Fields are a union-of-needs; each Kind documents
+// which fields it uses.
+#pragma once
+
+#include <vector>
+
+#include "common/vec.hpp"
+
+namespace gdvr::mdt {
+
+using NodeId = int;
+
+// A node's advertised state: globally unique id, current virtual position,
+// estimated position error (VPoD's e_u), and whether it has completed its
+// MDT join (join requests are routed through joined nodes only -- they form
+// the multi-hop DT that gives greedy forwarding its delivery guarantee).
+struct NodeInfo {
+  NodeId id = -1;
+  Vec pos;
+  double err = 1.0;
+  bool joined = false;
+};
+
+enum class Kind {
+  // VPoD start token, flooded once over physical links. Uses: origin_info
+  // (sender's freshly initialized position).
+  kToken,
+  // Position/error advertisement to a physical neighbor. Uses: origin_info.
+  kHello,
+  // Find the joined node closest to the origin's position (greedy-forwarded).
+  // Uses: origin, target_pos, origin_info, visited, accum_cost, ttl.
+  kJoinRequest,
+  // Closest node's neighbor set, source-routed back. Uses: origin (replier),
+  // target (joiner), origin_info, nbr_infos, route/route_idx, accum_cost.
+  kJoinReply,
+  // Neighbor-set request to a specific node (greedy toward target_pos with
+  // virtual-link detours). Uses: origin, target, target_pos, origin_info,
+  // visited, route/route_idx/detour, accum_cost, ttl.
+  kNbrSetRequest,
+  // Uses: origin (replier), target, origin_info, nbr_infos, fwd_cost,
+  // route/route_idx, accum_cost.
+  kNbrSetReply,
+  // VPoD adjustment result pushed to physical and DT neighbors. Direct to
+  // physical neighbors; source-routed over the virtual link otherwise.
+  // Uses: origin, target, origin_info, route/route_idx.
+  kPosUpdate,
+  // Application data packet routed live by GDV (see vpod/live_gdv.hpp).
+  // Uses: origin, target, target_pos, token (packet id), accum_cost (forward
+  // metric cost), ttl, route/route_idx/detour (virtual-link traversal).
+  kData,
+};
+
+struct Envelope {
+  Kind kind = Kind::kHello;
+  NodeId origin = -1;          // logical source
+  NodeId target = -1;          // logical destination (-1: "node closest to target_pos")
+  Vec target_pos;              // greedy destination position
+  NodeInfo origin_info;        // origin's position/error snapshot
+
+  // Physical trail of the message so far (origin first, excluding the node
+  // currently holding the message). Replies reverse this to source-route back.
+  std::vector<NodeId> visited;
+
+  // Active source route (for replies, virtual-link detours, pos updates).
+  std::vector<NodeId> route;
+  int route_idx = 0;  // position of the *current holder* within `route`
+  // True while a greedy request is detouring along a stored virtual-link
+  // path; greedy forwarding resumes when the detour ends.
+  bool detour = false;
+
+  // Cumulative link cost of the reverse path (paper Section III-A: each
+  // receiving node x adds c(x, sender), so the final receiver learns its own
+  // routing cost back to the message's origin).
+  double accum_cost = 0.0;
+
+  std::vector<NodeInfo> nbr_infos;  // payload of replies
+  double fwd_cost = 0.0;            // the request's accumulated cost, echoed in the reply
+  int ttl = 0;
+  std::uint64_t token = 0;          // data-packet id (kData)
+};
+
+}  // namespace gdvr::mdt

@@ -1,0 +1,776 @@
+#include "mdt/overlay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "geom/delaunay.hpp"
+
+namespace gdvr::mdt {
+
+namespace {
+
+std::pair<NodeId, NodeId> norm_pair(NodeId a, NodeId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+bool contains(const std::vector<NodeId>& xs, NodeId x) {
+  return std::find(xs.begin(), xs.end(), x) != xs.end();
+}
+
+}  // namespace
+
+MdtOverlay::MdtOverlay(Net& net, const MdtConfig& config)
+    : net_(net),
+      config_(config),
+      states_(static_cast<std::size_t>(net.size())),
+      rng_(0x4D445400ull) {}  // "MDT" seed for protocol-internal jitter
+
+void MdtOverlay::attach() {
+  net_.set_receiver([this](NodeId to, NodeId from, Envelope msg) { handle(to, from, std::move(msg)); });
+}
+
+// --------------------------------------------------------------------------
+// Lifecycle
+
+void MdtOverlay::activate(NodeId u, const Vec& pos, bool first) {
+  NodeState& s = st(u);
+  s.active = true;
+  s.joined = first;
+  s.pos = pos;
+  s.err = 1.0;
+  send_hello(u);
+}
+
+void MdtOverlay::start_join(NodeId u) {
+  NodeState& s = st(u);
+  if (!s.active || s.joined || !net_.alive(u)) return;
+  // Rate-limit: Hello announcements and the retry timer may both trigger us.
+  const sim::Time now = net_.simulator().now();
+  if (now - s.last_join_attempt < 0.8) return;
+  s.last_join_attempt = now;
+  // Seed: the *joined* physical neighbor closest (in the virtual space) to
+  // u. Join requests travel inside the multi-hop DT, where greedy forwarding
+  // has its delivery guarantee.
+  refresh_phys(u);
+  NodeId seed = -1;
+  double best = graph::kInf;
+  for (const auto& [id, info] : s.phys) {
+    if (!info.joined) continue;
+    const double d = info.pos.distance(s.pos);
+    if (d < best) {
+      best = d;
+      seed = id;
+    }
+  }
+  if (seed >= 0) {
+    Envelope m;
+    m.kind = Kind::kJoinRequest;
+    m.origin = u;
+    m.target = -1;
+    m.target_pos = s.pos;
+    m.origin_info = info_of(u);
+    m.visited = {u};
+    m.ttl = config_.greedy_ttl;
+    net_.send(u, seed, std::move(m));
+  }
+  // Retry until joined (replies may be lost to dead ends during construction).
+  const double delay = 2.0 + rng_.uniform(0.0, 1.0);
+  net_.simulator().schedule_in(delay, [this, u] { start_join(u); });
+}
+
+void MdtOverlay::deactivate(NodeId u) {
+  net_.set_alive(u, false);
+  st(u) = NodeState{};  // silent failure: all soft state at u is gone
+}
+
+// --------------------------------------------------------------------------
+// VPoD hooks
+
+void MdtOverlay::set_position(NodeId u, const Vec& pos, double err) {
+  NodeState& s = st(u);
+  s.pos = pos;
+  s.err = err;
+  if (!net_.alive(u)) return;
+  // Push the new position to physical neighbors (direct) and multi-hop DT
+  // neighbors (source-routed along the stored virtual-link path).
+  for (const auto& [id, info] : s.phys) {
+    (void)info;
+    Envelope m;
+    m.kind = Kind::kPosUpdate;
+    m.origin = u;
+    m.target = id;
+    m.origin_info = info_of(u);
+    net_.send(u, id, std::move(m));
+  }
+  for (NodeId y : s.dt_nbrs) {
+    if (s.phys.count(y)) continue;
+    auto it = s.cand.find(y);
+    if (it == s.cand.end() || it->second.path.size() < 2) continue;
+    Envelope m;
+    m.kind = Kind::kPosUpdate;
+    m.origin = u;
+    m.target = y;
+    m.origin_info = info_of(u);
+    m.route = it->second.path;
+    m.route_idx = 0;
+    const NodeId next = m.route[1];  // read before the envelope is moved from
+    net_.send(u, next, std::move(m));
+  }
+}
+
+void MdtOverlay::run_maintenance_round(NodeId u) {
+  NodeState& s = st(u);
+  if (!s.active || !net_.alive(u)) return;
+  refresh_phys(u);
+  send_hello(u);
+  // Expire relay soft state.
+  const sim::Time now = net_.simulator().now();
+  for (auto it = s.relay.begin(); it != s.relay.end();) {
+    if (now - it->second.refreshed > config_.relay_ttl_s)
+      it = s.relay.erase(it);
+    else
+      ++it;
+  }
+  // Soft-state staleness: a non-physical candidate that has sent us nothing
+  // (position update, request, reply) for neighbor_stale_s is presumed dead.
+  for (auto it = s.cand.begin(); it != s.cand.end();) {
+    const bool stale = !s.phys.count(it->first) &&
+                       now - it->second.last_heard > config_.neighbor_stale_s;
+    if (stale) {
+      s.pending.erase(it->first);
+      it = s.cand.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Per paper, every DT-neighbor pair exchanges a Neighbor-Set Request and
+  // Reply each round; the smaller id initiates to keep it to two messages.
+  for (NodeId y : s.dt_nbrs) {
+    auto it = s.cand.find(y);
+    if (it != s.cand.end() && (u < y || !it->second.synced)) it->second.synced = false;
+  }
+  schedule_recompute(u);
+}
+
+// --------------------------------------------------------------------------
+// Receiving
+
+void MdtOverlay::handle(NodeId to, NodeId from, Envelope msg) {
+  NodeState& s = st(to);
+  if (msg.kind == Kind::kToken) return;  // tokens belong to the layer above (VPoD)
+  if (msg.kind == Kind::kHello) {
+    on_hello(to, msg);
+    return;
+  }
+  if (!s.active) return;
+
+  // Cumulative reverse-path cost (paper Sec. III-A): the receiver x adds
+  // c(x, sender), so the final receiver knows its own routing cost back to
+  // the origin of the message.
+  switch (msg.kind) {
+    case Kind::kJoinRequest:
+    case Kind::kJoinReply:
+    case Kind::kNbrSetRequest:
+    case Kind::kNbrSetReply:
+      msg.accum_cost += net_.link_cost(to, from);
+      break;
+    default:
+      break;
+  }
+
+  // Source-routed relay (replies, position updates, virtual-link detours).
+  const bool follows_route =
+      msg.kind == Kind::kJoinReply || msg.kind == Kind::kNbrSetReply ||
+      (msg.kind == Kind::kPosUpdate && !msg.route.empty()) || msg.detour;
+  if (follows_route) {
+    const auto idx = static_cast<std::size_t>(msg.route_idx);
+    if (idx + 1 < msg.route.size() && msg.route[idx + 1] == to) ++msg.route_idx;
+    const bool at_end =
+        msg.route.empty() || msg.route_idx == static_cast<int>(msg.route.size()) - 1;
+    if (!at_end) {
+      // Interior relay: refresh the virtual-link forwarding entry and pass on.
+      const auto cur = static_cast<std::size_t>(msg.route_idx);
+      note_relay(to, msg.route.front(), msg.route.back(), msg.route[cur - 1], msg.route[cur + 1]);
+      if (msg.detour) msg.visited.push_back(to);
+      forward_routed(to, std::move(msg));
+      return;
+    }
+    if (msg.detour) {
+      // Detour finished: resume greedy processing at this node.
+      msg.detour = false;
+      msg.route.clear();
+      msg.route_idx = 0;
+    }
+  }
+
+  switch (msg.kind) {
+    case Kind::kJoinRequest:
+      on_join_request(to, std::move(msg));
+      break;
+    case Kind::kJoinReply:
+      on_join_reply(to, std::move(msg));
+      break;
+    case Kind::kNbrSetRequest:
+      on_nbr_set_request(to, std::move(msg));
+      break;
+    case Kind::kNbrSetReply:
+      on_nbr_set_reply(to, std::move(msg));
+      break;
+    case Kind::kPosUpdate:
+      on_pos_update(to, std::move(msg));
+      break;
+    default:
+      break;
+  }
+}
+
+void MdtOverlay::on_hello(NodeId u, const Envelope& msg) {
+  NodeState& s = st(u);
+  const bool known = s.phys.count(msg.origin_info.id) > 0;
+  // Learn/update a physical neighbor's advertised position and error. Stored
+  // even before this node activates: the VPoD initialization rules need the
+  // positions of already-initialized physical neighbors.
+  s.phys[msg.origin_info.id] = msg.origin_info;
+  // Neighbor-discovery handshake: a joined node answers a Hello from an
+  // unknown or not-yet-joined neighbor (a fresh joiner, or a rebooted node
+  // whose state was wiped) with its own Hello, so the joiner can bootstrap
+  // without waiting for a maintenance round. Only joined nodes reply, so two
+  // unjoined nodes can never ping-pong.
+  if ((!known || !msg.origin_info.joined) && s.active && s.joined && net_.alive(u)) {
+    Envelope reply;
+    reply.kind = Kind::kHello;
+    reply.origin = u;
+    reply.target = msg.origin_info.id;
+    reply.origin_info = info_of(u);
+    net_.send(u, msg.origin_info.id, std::move(reply));
+  }
+  auto it = s.cand.find(msg.origin_info.id);
+  if (it != s.cand.end()) {
+    it->second.pos = msg.origin_info.pos;
+    it->second.err = msg.origin_info.err;
+    it->second.last_heard = net_.simulator().now();
+  }
+  // A neighbor announcing it joined unblocks our own join immediately (the
+  // join wave then travels at message speed instead of retry-timer speed).
+  if (msg.origin_info.joined && s.active && !s.joined)
+    net_.simulator().schedule_in(0.05, [this, u] { start_join(u); });
+}
+
+void MdtOverlay::on_join_request(NodeId u, Envelope msg) {
+  // Greedy search for the joined node closest to the joiner's position.
+  if (forward_request(u, msg)) return;
+  // Local minimum: if we are joined, we are (locally) the closest node.
+  NodeState& s = st(u);
+  if (!s.joined) return;  // cannot serve; the joiner retries later
+  reply_with_neighbor_set(u, msg, Kind::kJoinReply);
+}
+
+void MdtOverlay::on_join_reply(NodeId u, Envelope msg) {
+  NodeState& s = st(u);
+  if (msg.target != u || !s.active) return;
+  // The replier becomes a synced candidate with known cost and path.
+  Candidate& c = s.cand[msg.origin];
+  c.pos = msg.origin_info.pos;
+  c.err = msg.origin_info.err;
+  c.cost = msg.accum_cost;
+  c.path.assign(msg.route.rbegin(), msg.route.rend());
+  c.via = msg.origin;
+  c.last_heard = net_.simulator().now();
+  c.synced = true;
+  for (const NodeInfo& info : msg.nbr_infos) merge_candidate_info(u, info, msg.origin);
+  s.got_join_reply = true;
+  schedule_recompute(u);
+}
+
+void MdtOverlay::on_nbr_set_request(NodeId u, Envelope msg) {
+  if (msg.target != u) {
+    (void)forward_request(u, msg);  // dead ends are dropped; origin retries
+    return;
+  }
+  reply_with_neighbor_set(u, msg, Kind::kNbrSetReply);
+}
+
+void MdtOverlay::on_nbr_set_reply(NodeId u, Envelope msg) {
+  NodeState& s = st(u);
+  if (msg.target != u) return;
+  auto pending_it = s.pending.find(msg.origin);
+  if (pending_it != s.pending.end()) {
+    net_.simulator().cancel(pending_it->second.timer);
+    s.pending.erase(pending_it);
+  }
+  Candidate& c = s.cand[msg.origin];
+  c.pos = msg.origin_info.pos;
+  c.err = msg.origin_info.err;
+  c.cost = msg.accum_cost;
+  c.path.assign(msg.route.rbegin(), msg.route.rend());
+  c.via = msg.origin;
+  c.last_heard = net_.simulator().now();
+  c.synced = true;
+  for (const NodeInfo& info : msg.nbr_infos) merge_candidate_info(u, info, msg.origin);
+  schedule_recompute(u);
+}
+
+void MdtOverlay::on_pos_update(NodeId u, Envelope msg) {
+  NodeState& s = st(u);
+  const sim::Time now = net_.simulator().now();
+  if (msg.route.empty() && net_.links().has_edge(u, msg.origin)) {
+    // Direct physical-neighbor update (acts as a keep-alive as well).
+    s.phys[msg.origin] = msg.origin_info;
+  }
+  auto it = s.cand.find(msg.origin);
+  if (it != s.cand.end()) {
+    it->second.pos = msg.origin_info.pos;
+    it->second.err = msg.origin_info.err;
+    it->second.last_heard = now;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Forwarding
+
+std::optional<NodeId> MdtOverlay::greedy_next(NodeId u, const Vec& pos,
+                                              const std::vector<NodeId>& visited,
+                                              bool joined_only) const {
+  const NodeState& s = st(u);
+  const double own = s.pos.distance(pos);
+  // MDT-greedy: prefer the closest physical neighbor if it makes progress;
+  // otherwise the closest multi-hop DT neighbor that makes progress.
+  NodeId best_phys = -1;
+  double best_phys_d = own;
+  for (const auto& [id, info] : s.phys) {
+    if (contains(visited, id) || !net_.alive(id)) continue;
+    if (joined_only && !info.joined) continue;
+    const double d = info.pos.distance(pos);
+    if (d < best_phys_d) {
+      best_phys_d = d;
+      best_phys = id;
+    }
+  }
+  if (best_phys >= 0) return best_phys;
+  NodeId best_dt = -1;
+  double best_dt_d = own;
+  for (NodeId y : s.dt_nbrs) {
+    if (s.phys.count(y) || contains(visited, y)) continue;
+    auto it = s.cand.find(y);
+    if (it == s.cand.end() || it->second.path.size() < 2) continue;
+    const double d = it->second.pos.distance(pos);
+    if (d < best_dt_d) {
+      best_dt_d = d;
+      best_dt = y;
+    }
+  }
+  if (best_dt >= 0) return best_dt;
+  return std::nullopt;
+}
+
+bool MdtOverlay::forward_request(NodeId u, Envelope msg) {
+  NodeState& s = st(u);
+  if (msg.ttl <= 0) return false;
+  --msg.ttl;
+
+  // Addressed request: deliver directly if the target is a physical neighbor
+  // or a known DT neighbor with an established virtual link.
+  if (msg.target >= 0) {
+    if (s.phys.count(msg.target) && net_.alive(msg.target)) {
+      msg.visited.push_back(u);
+      const NodeId next = msg.target;  // read before the envelope is moved from
+      return net_.send(u, next, std::move(msg));
+    }
+    auto it = s.cand.find(msg.target);
+    if (it != s.cand.end() && it->second.path.size() >= 2) {
+      msg.detour = true;
+      msg.route = it->second.path;
+      msg.route_idx = 0;
+      msg.visited.push_back(u);
+      const NodeId next = msg.route[1];
+      return net_.send(u, next, std::move(msg));
+    }
+  }
+
+  const auto next =
+      greedy_next(u, msg.target_pos, msg.visited, msg.kind == Kind::kJoinRequest);
+  if (!next) return false;
+  if (s.phys.count(*next)) {
+    msg.visited.push_back(u);
+    const NodeId hop = *next;
+    return net_.send(u, hop, std::move(msg));
+  }
+  // Multi-hop DT neighbor: detour along the stored virtual-link path.
+  const auto it = s.cand.find(*next);
+  GDVR_ASSERT(it != s.cand.end() && it->second.path.size() >= 2);
+  msg.detour = true;
+  msg.route = it->second.path;
+  msg.route_idx = 0;
+  msg.visited.push_back(u);
+  const NodeId hop = msg.route[1];
+  return net_.send(u, hop, std::move(msg));
+}
+
+void MdtOverlay::forward_routed(NodeId u, Envelope msg) {
+  const auto idx = static_cast<std::size_t>(msg.route_idx);
+  if (idx + 1 >= msg.route.size()) return;
+  const NodeId next = msg.route[idx + 1];
+  (void)net_.send(u, next, std::move(msg));  // failure = dead next hop; soft state recovers
+}
+
+void MdtOverlay::note_relay(NodeId u, NodeId a, NodeId b, NodeId pred, NodeId succ) {
+  NodeState& s = st(u);
+  RelayEntry& e = s.relay[norm_pair(a, b)];
+  e.pred = pred;
+  e.succ = succ;
+  e.refreshed = net_.simulator().now();
+}
+
+// --------------------------------------------------------------------------
+// Protocol actions
+
+std::vector<NodeInfo> MdtOverlay::neighbor_infos(NodeId u) const {
+  const NodeState& s = st(u);
+  std::vector<NodeInfo> infos;
+  std::set<NodeId> seen;
+  for (const auto& [id, info] : s.phys) {
+    infos.push_back(info);
+    seen.insert(id);
+  }
+  for (NodeId y : s.dt_nbrs) {
+    if (seen.count(y)) continue;
+    auto it = s.cand.find(y);
+    if (it == s.cand.end()) continue;
+    infos.push_back(NodeInfo{y, it->second.pos, it->second.err});
+  }
+  return infos;
+}
+
+void MdtOverlay::reply_with_neighbor_set(NodeId u, const Envelope& request, Kind kind) {
+  NodeState& s = st(u);
+  // Learn the requester: the request's accumulated cost is exactly this
+  // node's routing cost back to the requester along the reverse trail.
+  Candidate& c = s.cand[request.origin];
+  c.pos = request.origin_info.pos;
+  c.err = request.origin_info.err;
+  c.cost = request.accum_cost;
+  c.path.clear();
+  c.path.push_back(u);
+  for (auto it = request.visited.rbegin(); it != request.visited.rend(); ++it) c.path.push_back(*it);
+  c.via = request.origin;
+  c.last_heard = net_.simulator().now();
+  c.synced = true;
+  schedule_recompute(u);
+
+  Envelope r;
+  r.kind = kind;
+  r.origin = u;
+  r.target = request.origin;
+  r.origin_info = info_of(u);
+  r.nbr_infos = neighbor_infos(u);
+  r.fwd_cost = request.accum_cost;
+  r.route = c.path;
+  r.route_idx = 0;
+  if (r.route.size() >= 2) {
+    const NodeId next = r.route[1];  // read before the envelope is moved from
+    (void)net_.send(u, next, std::move(r));
+  }
+}
+
+void MdtOverlay::merge_candidate_info(NodeId u, const NodeInfo& info, NodeId via) {
+  NodeState& s = st(u);
+  if (info.id == u || info.id < 0) return;
+  auto it = s.cand.find(info.id);
+  if (it == s.cand.end()) {
+    Candidate c;
+    c.pos = info.pos;
+    c.err = info.err;
+    c.via = via;
+    c.last_heard = net_.simulator().now();
+    s.cand.emplace(info.id, std::move(c));
+  } else {
+    // Refresh position/error only; cost, path and synced state are owned by
+    // the direct exchange with that node. Deliberately do NOT refresh
+    // last_heard: gossip is not evidence of liveness, and letting it count
+    // would keep dead nodes alive epidemically after churn.
+    it->second.pos = info.pos;
+    it->second.err = info.err;
+    if (!it->second.synced && via >= 0) it->second.via = via;
+  }
+}
+
+void MdtOverlay::mark_joined(NodeId u) {
+  NodeState& s = st(u);
+  if (s.joined) return;
+  s.joined = true;
+  send_hello(u);  // announce: neighbors waiting to join can proceed
+}
+
+void MdtOverlay::send_nbr_request(NodeId u, NodeId y) {
+  NodeState& s = st(u);
+  if (!s.active || !net_.alive(u) || s.pending.count(y)) return;
+  auto cand_it = s.cand.find(y);
+  if (cand_it == s.cand.end()) return;
+
+  const auto make_nbr_request = [this](NodeId from, NodeId to, const Vec& to_pos) {
+    Envelope e;
+    e.kind = Kind::kNbrSetRequest;
+    e.origin = from;
+    e.target = to;
+    e.target_pos = to_pos;
+    e.origin_info = info_of(from);
+    e.ttl = config_.greedy_ttl;
+    return e;
+  };
+
+  // Route selection, in order of preference:
+  //  1. direct physical delivery;
+  //  2. greedy toward y's position -- crucially this lets virtual-link paths
+  //     *shrink* as VPoD converges (a stored path found during early
+  //     construction may be far longer than what greedy now finds, and the
+  //     reply re-installs whatever route the request actually took);
+  //  3. the stored virtual-link path;
+  //  4. detour through the neighbor that told us about y (it knows y
+  //     directly) -- how the join phase reaches neighbors-of-neighbors while
+  //     greedy forwarding is still unreliable.
+  bool sent = false;
+  if (s.phys.count(y) && net_.alive(y)) {
+    Envelope g = make_nbr_request(u, y, cand_it->second.pos);
+    g.visited = {u};
+    sent = net_.send(u, y, std::move(g));
+  }
+  if (!sent && config_.refresh_paths_greedily) {
+    const auto next = greedy_next(u, cand_it->second.pos, {u}, /*joined_only=*/false);
+    if (next && s.phys.count(*next)) {
+      Envelope g = make_nbr_request(u, y, cand_it->second.pos);
+      g.visited = {u};
+      const NodeId hop = *next;
+      sent = net_.send(u, hop, std::move(g));
+    }
+  }
+  if (!sent && cand_it->second.path.size() >= 2) {
+    Envelope g = make_nbr_request(u, y, cand_it->second.pos);
+    g.detour = true;
+    g.route = cand_it->second.path;
+    g.route_idx = 0;
+    g.visited = {u};
+    const NodeId hop = g.route[1];
+    sent = net_.send(u, hop, std::move(g));
+  }
+  const NodeId via = cand_it->second.via;
+  if (!sent && via >= 0 && via != y && via != u) {
+    if (s.phys.count(via) && net_.alive(via)) {
+      Envelope g = make_nbr_request(u, y, cand_it->second.pos);
+      g.visited = {u};
+      sent = net_.send(u, via, std::move(g));
+    } else {
+      auto vit = s.cand.find(via);
+      if (vit != s.cand.end() && vit->second.path.size() >= 2) {
+        Envelope g = make_nbr_request(u, y, cand_it->second.pos);
+        g.detour = true;
+        g.route = vit->second.path;
+        g.route_idx = 0;
+        g.visited = {u};
+        const NodeId hop = g.route[1];
+        sent = net_.send(u, hop, std::move(g));
+      }
+    }
+  }
+  if (!sent) {
+    // Last resort: full greedy machinery (may use DT detours).
+    Envelope g = make_nbr_request(u, y, cand_it->second.pos);
+    sent = forward_request(u, std::move(g));
+  }
+
+  PendingSync& p = s.pending[y];
+  ++p.attempts;
+  const int attempts = p.attempts;
+  p.timer = net_.simulator().schedule_in(
+      config_.sync_timeout_s + rng_.uniform(0.0, 0.3), [this, u, y, attempts] {
+        NodeState& su = st(u);
+        auto it = su.pending.find(y);
+        if (it == su.pending.end() || it->second.attempts != attempts) return;
+        su.pending.erase(it);
+        if (!su.active || !net_.alive(u)) return;
+        auto cy = su.cand.find(y);
+        if (cy == su.cand.end()) return;
+        if (attempts < config_.max_sync_retries) {
+          send_nbr_request(u, y);
+          return;
+        }
+        // Give up this round. A neighbor we never managed to sync is likely
+        // dead or unreachable: drop it so the local DT can move on.
+        if (!cy->second.synced) {
+          su.cand.erase(cy);
+          schedule_recompute(u);
+        }
+      });
+  (void)sent;  // even a failed send arms the retry timer above
+}
+
+void MdtOverlay::sync_missing_neighbors(NodeId u) {
+  NodeState& s = st(u);
+  for (NodeId y : s.dt_nbrs) {
+    auto it = s.cand.find(y);
+    if (it == s.cand.end()) continue;
+    if (!it->second.synced && !s.pending.count(y)) send_nbr_request(u, y);
+  }
+  // Join completes once the node has been served by a DT member and has
+  // recomputed its neighbor set (further syncs refine it), or when every DT
+  // neighbor is already synced.
+  if (!s.joined) {
+    bool all = !s.dt_nbrs.empty();
+    for (NodeId y : s.dt_nbrs) {
+      auto it = s.cand.find(y);
+      if (it == s.cand.end() || !it->second.synced) all = false;
+    }
+    if (all || (s.got_join_reply && !s.dt_nbrs.empty())) mark_joined(u);
+  }
+}
+
+void MdtOverlay::schedule_recompute(NodeId u) {
+  NodeState& s = st(u);
+  if (s.recompute_scheduled) return;
+  s.recompute_scheduled = true;
+  net_.simulator().schedule_in(config_.recompute_delay_s, [this, u] { recompute(u); });
+}
+
+void MdtOverlay::recompute(NodeId u) {
+  NodeState& s = st(u);
+  s.recompute_scheduled = false;
+  if (!s.active || !net_.alive(u)) return;
+  refresh_phys(u);
+
+  // Local DT of {u} + P_u + C_u; N_u = u's neighbors in it.
+  std::vector<NodeId> ids;
+  std::vector<Vec> pts;
+  ids.push_back(u);
+  pts.push_back(s.pos);
+  for (const auto& [id, info] : s.phys) {
+    ids.push_back(id);
+    pts.push_back(info.pos);
+  }
+  for (const auto& [id, c] : s.cand) {
+    if (s.phys.count(id)) continue;
+    ids.push_back(id);
+    pts.push_back(c.pos);
+  }
+
+  s.dt_nbrs.clear();
+  if (ids.size() >= 2) {
+    const geom::DelaunayGraph dt = geom::delaunay_graph(pts);
+    for (int v : dt.nbrs[0]) s.dt_nbrs.push_back(ids[static_cast<std::size_t>(v)]);
+    std::sort(s.dt_nbrs.begin(), s.dt_nbrs.end());
+  }
+
+  // Candidate pruning (soft state): keep DT neighbors, physical neighbors,
+  // nodes with an exchange in flight, and freshly learned nodes that have
+  // not yet been through a recompute.
+  const sim::Time now = net_.simulator().now();
+  for (auto it = s.cand.begin(); it != s.cand.end();) {
+    const NodeId id = it->first;
+    const bool keep = contains(s.dt_nbrs, id) || s.phys.count(id) || s.pending.count(id) ||
+                      now - it->second.last_heard <= config_.candidate_fresh_s;
+    if (keep)
+      ++it;
+    else
+      it = s.cand.erase(it);
+  }
+
+  // Ensure every DT neighbor has a candidate record (physical neighbors may
+  // not have one yet: give them their trivial one-hop path and link cost).
+  for (NodeId y : s.dt_nbrs) {
+    if (!s.cand.count(y) && s.phys.count(y)) {
+      Candidate c;
+      c.pos = s.phys[y].pos;
+      c.err = s.phys[y].err;
+      c.cost = net_.link_cost(u, y);
+      c.path = {u, y};
+      c.last_heard = now;
+      c.synced = true;  // link-layer exchange suffices for physical neighbors
+      s.cand.emplace(y, std::move(c));
+    }
+  }
+
+  sync_missing_neighbors(u);
+}
+
+void MdtOverlay::refresh_phys(NodeId u) {
+  NodeState& s = st(u);
+  for (auto it = s.phys.begin(); it != s.phys.end();) {
+    if (!net_.alive(it->first) || !net_.links().has_edge(u, it->first))
+      it = s.phys.erase(it);
+    else
+      ++it;
+  }
+}
+
+void MdtOverlay::send_hello(NodeId u) {
+  if (!net_.alive(u)) return;
+  for (const graph::Edge& e : net_.alive_neighbors(u)) {
+    Envelope m;
+    m.kind = Kind::kHello;
+    m.origin = u;
+    m.target = e.to;
+    m.origin_info = info_of(u);
+    net_.send(u, e.to, std::move(m));
+  }
+}
+
+// --------------------------------------------------------------------------
+// Queries
+
+std::vector<NeighborView> MdtOverlay::neighbor_views(NodeId u) const {
+  const NodeState& s = st(u);
+  std::vector<NeighborView> views;
+  for (const auto& [id, info] : s.phys) {
+    NeighborView v;
+    v.id = id;
+    v.pos = info.pos;
+    v.err = info.err;
+    v.cost = net_.link_cost(u, id);
+    v.is_phys = true;
+    v.is_dt = contains(s.dt_nbrs, id);
+    views.push_back(v);
+  }
+  for (NodeId y : s.dt_nbrs) {
+    if (s.phys.count(y)) continue;
+    auto it = s.cand.find(y);
+    if (it == s.cand.end() || !std::isfinite(it->second.cost)) continue;
+    NeighborView v;
+    v.id = y;
+    v.pos = it->second.pos;
+    v.err = it->second.err;
+    v.cost = it->second.cost;
+    v.is_phys = false;
+    v.is_dt = true;
+    views.push_back(v);
+  }
+  return views;
+}
+
+const std::vector<NodeId>& MdtOverlay::virtual_path(NodeId u, NodeId v) const {
+  const NodeState& s = st(u);
+  auto it = s.cand.find(v);
+  if (it == s.cand.end()) return empty_path_;
+  return it->second.path;
+}
+
+std::vector<NodeId> MdtOverlay::dt_neighbors(NodeId u) const { return st(u).dt_nbrs; }
+
+int MdtOverlay::distinct_nodes_stored(NodeId u) const {
+  const NodeState& s = st(u);
+  std::set<NodeId> known;
+  for (const auto& [id, info] : s.phys) {
+    (void)info;
+    known.insert(id);
+  }
+  for (NodeId y : s.dt_nbrs) known.insert(y);
+  for (const auto& [pair, entry] : s.relay) {
+    known.insert(pair.first);
+    known.insert(pair.second);
+    known.insert(entry.pred);
+    known.insert(entry.succ);
+  }
+  known.erase(u);
+  known.erase(-1);
+  return static_cast<int>(known.size());
+}
+
+}  // namespace gdvr::mdt

@@ -1,0 +1,211 @@
+// Distributed multi-hop Delaunay triangulation (MDT) protocol.
+//
+// Implements the MDT join and maintenance protocols of Lam & Qian
+// (SIGMETRICS 2011) with the VPoD extensions from the GDV paper:
+//  * nodes are identified by globally unique ids, not coordinates;
+//  * forwarding-table tuples are extended with (cost, error);
+//  * every Neighbor-Set Request/Reply records the cumulative routing cost of
+//    its (reverse) path, so both endpoints of a DT-neighbor pair learn their
+//    directed routing cost to each other (supports asymmetric metrics);
+//  * position updates are pushed to physical and multi-hop DT neighbors.
+//
+// Each node keeps a candidate set C_u (id -> position/error/cost/path), its
+// DT neighbor set N_u = neighbors of u in the local Delaunay triangulation
+// of {u} + C_u + P_u, and soft-state relay entries for virtual links that
+// pass through it. Control messages are greedy-forwarded using physical
+// neighbors and established virtual links; dead ends are retried by the
+// origin after a timeout (the triangulation is still under construction when
+// they happen) and repaired by periodic maintenance rounds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mdt/messages.hpp"
+#include "sim/netsim.hpp"
+#include "sim/simulator.hpp"
+
+namespace gdvr::mdt {
+
+using Net = sim::NetSim<Envelope>;
+
+struct MdtConfig {
+  int dim = 3;                     // dimension of the (virtual) space
+  double sync_timeout_s = 1.5;     // Neighbor-Set Request retry timeout
+  int max_sync_retries = 4;        // per maintenance round
+  // Non-neighbor candidates survive one recompute cycle: freshly learned
+  // nodes must be considered once, but keeping them longer balloons the
+  // local-DT input during early construction.
+  double candidate_fresh_s = 2.0;
+  double relay_ttl_s = 60.0;       // soft-state expiry for relay entries
+  // A multi-hop DT neighbor not heard from (position update or neighbor-set
+  // exchange) for this long is presumed dead and dropped at the next
+  // maintenance round -- the mechanism behind churn recovery (Sec. IV-H).
+  double neighbor_stale_s = 45.0;
+  double recompute_delay_s = 0.7;  // coalescing delay for local DT recomputes
+  int greedy_ttl = 96;             // hop budget for greedy-forwarded requests
+  // Ablation switch: when true (default), neighbor-set re-syncs route
+  // greedily first so virtual-link paths shrink as the embedding converges;
+  // when false, the stored path is always reused ("sticky paths"), so costs
+  // recorded during early construction never improve. bench/ablation_paths
+  // quantifies the difference.
+  bool refresh_paths_greedily = true;
+};
+
+// A neighbor as seen by VPoD's adjustment algorithm and by GDV forwarding.
+struct NeighborView {
+  NodeId id = -1;
+  Vec pos;
+  double err = 1.0;
+  double cost = 0.0;   // c(u,v) for physical neighbors, D(u,v) otherwise
+  bool is_phys = false;
+  bool is_dt = false;
+};
+
+class MdtOverlay {
+ public:
+  MdtOverlay(Net& net, const MdtConfig& config);
+
+  // Installs this overlay as the NetSim receiver. Call once before starting.
+  void attach();
+
+  // --- node lifecycle -----------------------------------------------------
+  // Node u enters the protocol with an initial position (sends Hello to all
+  // physical neighbors). The first node of the system passes joined=true.
+  void activate(NodeId u, const Vec& pos, bool first = false);
+  // Begins (or retries) the join: greedy-search for the closest joined node.
+  void start_join(NodeId u);
+  // Churn: the node fails silently (link layer stops delivering).
+  void deactivate(NodeId u);
+
+  // --- VPoD hooks -----------------------------------------------------------
+  // Updates u's position/error after an adjustment and pushes kPosUpdate to
+  // all physical and DT neighbors.
+  void set_position(NodeId u, const Vec& pos, double err);
+  void set_error(NodeId u, double err) { states_[static_cast<std::size_t>(u)].err = err; }
+  // J-period maintenance: refresh physical neighbors, expire soft state,
+  // recompute the local DT, and re-sync every DT-neighbor pair.
+  void run_maintenance_round(NodeId u);
+
+  // --- queries (used by VPoD, GDV and the evaluation harness) -------------
+  bool active(NodeId u) const { return states_[static_cast<std::size_t>(u)].active; }
+  bool joined(NodeId u) const { return states_[static_cast<std::size_t>(u)].joined; }
+  const Vec& position(NodeId u) const { return states_[static_cast<std::size_t>(u)].pos; }
+  double error(NodeId u) const { return states_[static_cast<std::size_t>(u)].err; }
+  // P_u ∪ N_u with positions, errors and routing costs.
+  std::vector<NeighborView> neighbor_views(NodeId u) const;
+  // Advertised state of physical neighbors (populated by Hello / PosUpdate;
+  // available even before the node activates -- VPoD's position
+  // initialization rules need it).
+  const std::map<NodeId, NodeInfo>& phys_info(NodeId u) const {
+    return states_[static_cast<std::size_t>(u)].phys;
+  }
+  // The stored physical route u -> ... -> v for a multi-hop DT neighbor v
+  // (empty for physical neighbors and unknown nodes).
+  const std::vector<NodeId>& virtual_path(NodeId u, NodeId v) const;
+  std::vector<NodeId> dt_neighbors(NodeId u) const;
+  // Storage metric: distinct remote nodes u must store to forward (physical
+  // neighbors, DT neighbors, and relay-entry endpoints).
+  int distinct_nodes_stored(NodeId u) const;
+
+  Net& net() { return net_; }
+  const Net& net() const { return net_; }
+  const MdtConfig& config() const { return config_; }
+
+  // Receiver entry point (public so VPoD can delegate MDT kinds to it).
+  void handle(NodeId to, NodeId from, Envelope msg);
+
+ private:
+  struct Candidate {
+    Vec pos;
+    double err = 1.0;
+    double cost = graph::kInf;     // routing cost from the owner to this node
+    std::vector<NodeId> path;      // physical route owner -> ... -> node
+    NodeId via = -1;               // the neighbor whose reply taught us this node
+    sim::Time last_heard = 0.0;
+    bool synced = false;           // a NbrSet exchange with it has completed
+  };
+
+  struct PendingSync {
+    int attempts = 0;
+    sim::Simulator::EventId timer = 0;
+  };
+
+  struct RelayEntry {
+    NodeId pred = -1;
+    NodeId succ = -1;
+    sim::Time refreshed = 0.0;
+  };
+
+  struct NodeState {
+    bool active = false;
+    bool joined = false;
+    bool got_join_reply = false;
+    Vec pos;
+    double err = 1.0;
+    std::map<NodeId, NodeInfo> phys;      // physical neighbors' advertised state
+    std::map<NodeId, Candidate> cand;     // candidate set C_u
+    std::vector<NodeId> dt_nbrs;          // N_u (sorted)
+    // Relay entries: normalized endpoint pair -> pred/succ soft state.
+    std::map<std::pair<NodeId, NodeId>, RelayEntry> relay;
+    std::map<NodeId, PendingSync> pending;
+    bool recompute_scheduled = false;
+    sim::Time last_join_attempt = -1e18;  // rate limit for join retries
+  };
+
+  NodeState& st(NodeId u) { return states_[static_cast<std::size_t>(u)]; }
+  const NodeState& st(NodeId u) const { return states_[static_cast<std::size_t>(u)]; }
+
+  NodeInfo info_of(NodeId u) const {
+    return NodeInfo{u, st(u).pos, st(u).err, st(u).joined};
+  }
+
+  // --- message handling ----------------------------------------------------
+  void on_hello(NodeId u, const Envelope& msg);
+  void on_join_request(NodeId u, Envelope msg);
+  void on_join_reply(NodeId u, Envelope msg);
+  void on_nbr_set_request(NodeId u, Envelope msg);
+  void on_nbr_set_reply(NodeId u, Envelope msg);
+  void on_pos_update(NodeId u, Envelope msg);
+
+  // --- forwarding helpers --------------------------------------------------
+  // Greedy next hop toward `pos` among u's physical neighbors and DT
+  // neighbors, excluding already visited nodes. Join requests restrict
+  // physical hops to joined nodes (the multi-hop DT members). Returns the
+  // chosen neighbor id, or nullopt if u is a local minimum among eligible
+  // candidates.
+  std::optional<NodeId> greedy_next(NodeId u, const Vec& pos, const std::vector<NodeId>& visited,
+                                    bool joined_only) const;
+  // Sends a greedy-phase message onward from u (handles virtual-link
+  // detours); returns false when no progress was possible.
+  bool forward_request(NodeId u, Envelope msg);
+  // Continues a source-routed message from u along msg.route.
+  void forward_routed(NodeId u, Envelope msg);
+  // Installs/refreshes a relay entry at u for the virtual link (a, b).
+  void note_relay(NodeId u, NodeId a, NodeId b, NodeId pred, NodeId succ);
+
+  // --- protocol actions ------------------------------------------------------
+  void send_nbr_request(NodeId u, NodeId y);
+  void sync_missing_neighbors(NodeId u);
+  void schedule_recompute(NodeId u);
+  void recompute(NodeId u);
+  void merge_candidate_info(NodeId u, const NodeInfo& info, NodeId via);
+  void mark_joined(NodeId u);
+  void reply_with_neighbor_set(NodeId u, const Envelope& request, Kind kind);
+  std::vector<NodeInfo> neighbor_infos(NodeId u) const;
+  void refresh_phys(NodeId u);
+  void send_hello(NodeId u);
+
+  Net& net_;
+  MdtConfig config_;
+  std::vector<NodeState> states_;
+  Rng rng_;
+  std::vector<NodeId> empty_path_;
+};
+
+}  // namespace gdvr::mdt

@@ -1,0 +1,248 @@
+#include "radio/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace gdvr::radio {
+
+namespace {
+
+// Proper segment-segment intersection test (including touching).
+bool segments_intersect(double ax, double ay, double bx, double by, double cx, double cy,
+                        double dx, double dy) {
+  const auto cross = [](double ox, double oy, double px, double py, double qx, double qy) {
+    return (px - ox) * (qy - oy) - (py - oy) * (qx - ox);
+  };
+  const double d1 = cross(cx, cy, dx, dy, ax, ay);
+  const double d2 = cross(cx, cy, dx, dy, bx, by);
+  const double d3 = cross(ax, ay, bx, by, cx, cy);
+  const double d4 = cross(ax, ay, bx, by, dx, dy);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) && ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)))
+    return true;
+  const auto on_segment = [](double px, double py, double qx, double qy, double rx, double ry) {
+    return std::min(px, qx) <= rx && rx <= std::max(px, qx) && std::min(py, qy) <= ry &&
+           ry <= std::max(py, qy);
+  };
+  if (d1 == 0 && on_segment(cx, cy, dx, dy, ax, ay)) return true;
+  if (d2 == 0 && on_segment(cx, cy, dx, dy, bx, by)) return true;
+  if (d3 == 0 && on_segment(ax, ay, bx, by, cx, cy)) return true;
+  if (d4 == 0 && on_segment(ax, ay, bx, by, dx, dy)) return true;
+  return false;
+}
+
+struct NodeHardware {
+  double tx_offset_db = 0.0;
+  double noise_offset_db = 0.0;
+};
+
+Topology generate(const TopologyConfig& config) {
+  GDVR_ASSERT(config.space_dim == 2 || config.space_dim == 3);
+  GDVR_ASSERT_MSG(config.space_dim == 2 || config.num_obstacles == 0,
+                  "obstacles are modeled in 2D only");
+  Rng rng(config.seed);
+  Topology topo;
+  topo.radio = config.radio;
+  topo.obstacles =
+      random_obstacles(config.num_obstacles, config.obstacle_size_m, config.width_m,
+                       config.height_m, rng);
+
+  // Place nodes uniformly, rejecting positions inside obstacles.
+  topo.positions.reserve(static_cast<std::size_t>(config.n));
+  Vec extent = config.space_dim == 2 ? Vec{config.width_m, config.height_m}
+                                     : Vec{config.width_m, config.height_m, config.depth_m};
+  for (int i = 0; i < config.n; ++i) {
+    Vec p;
+    for (int attempt = 0; attempt < 10000; ++attempt) {
+      p = rng.point_in_box(extent);
+      const bool inside = std::any_of(topo.obstacles.begin(), topo.obstacles.end(),
+                                      [&](const Obstacle& o) { return o.contains(p); });
+      if (!inside) break;
+    }
+    topo.positions.push_back(p);
+  }
+
+  // Per-node hardware variance (makes links asymmetric).
+  std::vector<NodeHardware> hw(static_cast<std::size_t>(config.n));
+  for (auto& h : hw) {
+    h.tx_offset_db = rng.normal(0.0, config.radio.tx_power_var_db);
+    h.noise_offset_db = rng.normal(0.0, config.radio.noise_var_db);
+  }
+
+  // Frame airtime (ms) at a given nominal rate; ETT = ETX * airtime.
+  const double frame_bits = 8.0 *
+                            static_cast<double>(config.radio.frame_bytes +
+                                                config.radio.preamble_bytes) *
+                            (config.radio.manchester ? 2.0 : 1.0);
+  const auto airtime_ms = [&](double rate_mbps) { return frame_bits / (rate_mbps * 1000.0); };
+  // Transmit power in mW for the energy metric (mW * ms = microjoules).
+  const auto tx_mw = [&](double offset_db) {
+    return std::pow(10.0, (config.radio.tx_power_dbm + offset_db) / 10.0);
+  };
+
+  const double d_max = max_link_distance(config.radio, config.prr_threshold);
+  topo.etx = graph::Graph(config.n);
+  topo.hops = graph::Graph(config.n);
+  topo.ett = graph::Graph(config.n);
+  topo.energy = graph::Graph(config.n);
+  for (int i = 0; i < config.n; ++i) {
+    for (int j = i + 1; j < config.n; ++j) {
+      const Vec& a = topo.positions[static_cast<std::size_t>(i)];
+      const Vec& b = topo.positions[static_cast<std::size_t>(j)];
+      const double d = a.distance(b);
+      if (d > d_max || d <= 0.0) continue;
+      // One symmetric shadowing sample per pair; asymmetry comes from the
+      // per-node hardware offsets, as in the original link-layer simulator.
+      const double shadow = rng.normal(0.0, config.radio.shadow_sigma_db);
+      const double prr_ij = prr(config.radio, d, shadow, hw[static_cast<std::size_t>(i)].tx_offset_db,
+                                hw[static_cast<std::size_t>(j)].noise_offset_db);
+      const double prr_ji = prr(config.radio, d, shadow, hw[static_cast<std::size_t>(j)].tx_offset_db,
+                                hw[static_cast<std::size_t>(i)].noise_offset_db);
+      // Per-pair nominal rate (multi-rate radios; used by ETT).
+      const double rate = rng.uniform(config.min_rate_mbps, config.max_rate_mbps);
+      if (std::min(prr_ij, prr_ji) <= config.prr_threshold) continue;
+      const bool blocked = std::any_of(topo.obstacles.begin(), topo.obstacles.end(),
+                                       [&](const Obstacle& o) { return o.blocks(a, b); });
+      if (blocked) continue;
+      const double etx_ij = 1.0 / prr_ij, etx_ji = 1.0 / prr_ji;
+      topo.etx.add_bidirectional(i, j, etx_ij, etx_ji);
+      topo.hops.add_bidirectional(i, j, 1.0, 1.0);
+      topo.ett.add_bidirectional(i, j, etx_ij * airtime_ms(rate), etx_ji * airtime_ms(rate));
+      topo.energy.add_bidirectional(
+          i, j, etx_ij * airtime_ms(rate) * tx_mw(hw[static_cast<std::size_t>(i)].tx_offset_db),
+          etx_ji * airtime_ms(rate) * tx_mw(hw[static_cast<std::size_t>(j)].tx_offset_db));
+    }
+  }
+
+  if (config.restrict_to_largest_component) {
+    const std::vector<int> keep = graph::largest_component(topo.etx);
+    if (static_cast<int>(keep.size()) != config.n) {
+      std::vector<Vec> pos;
+      pos.reserve(keep.size());
+      for (int u : keep) pos.push_back(topo.positions[static_cast<std::size_t>(u)]);
+      topo.positions = std::move(pos);
+      topo.etx = topo.etx.induced_subgraph(keep);
+      topo.hops = topo.hops.induced_subgraph(keep);
+      topo.ett = topo.ett.induced_subgraph(keep);
+      topo.energy = topo.energy.induced_subgraph(keep);
+    }
+  }
+  return topo;
+}
+
+}  // namespace
+
+bool Obstacle::blocks(const Vec& a, const Vec& b) const {
+  if (contains(a) || contains(b)) return true;
+  // Segment fully to one side of the box?
+  if (std::max(a[0], b[0]) < x0 || std::min(a[0], b[0]) > x1 || std::max(a[1], b[1]) < y0 ||
+      std::min(a[1], b[1]) > y1)
+    return false;
+  return segments_intersect(a[0], a[1], b[0], b[1], x0, y0, x1, y0) ||
+         segments_intersect(a[0], a[1], b[0], b[1], x1, y0, x1, y1) ||
+         segments_intersect(a[0], a[1], b[0], b[1], x1, y1, x0, y1) ||
+         segments_intersect(a[0], a[1], b[0], b[1], x0, y1, x0, y0);
+}
+
+double max_link_distance(const LinkModelParams& p, double prr_threshold) {
+  // Best case: -4 sigma shadowing plus +3 sigma hardware luck on both ends.
+  const double margin = 4.0 * p.shadow_sigma_db + 3.0 * (p.tx_power_var_db + p.noise_var_db);
+  double lo = p.ref_distance_m, hi = p.ref_distance_m;
+  // Grow until PRR at hi is below threshold even with full margin.
+  for (int i = 0; i < 64; ++i) {
+    const double snr = p.tx_power_dbm + margin - path_loss_db(p, hi) - p.noise_floor_dbm;
+    if (prr_from_snr_db(p, snr) <= prr_threshold) break;
+    lo = hi;
+    hi *= 2.0;
+  }
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double snr = p.tx_power_dbm + margin - path_loss_db(p, mid) - p.noise_floor_dbm;
+    if (prr_from_snr_db(p, snr) > prr_threshold)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return hi;
+}
+
+std::vector<Obstacle> random_obstacles(int count, double size_m, double width_m, double height_m,
+                                       Rng& rng) {
+  std::vector<Obstacle> obstacles;
+  obstacles.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double x = rng.uniform(0.0, std::max(width_m - size_m, 0.0));
+    const double y = rng.uniform(0.0, std::max(height_m - size_m, 0.0));
+    obstacles.push_back({x, y, x + size_m, y + size_m});
+  }
+  return obstacles;
+}
+
+double calibrate_tx_power(const TopologyConfig& config, double target_avg_degree) {
+  double lo = -30.0, hi = 30.0;
+  for (int iter = 0; iter < 24; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    TopologyConfig c = config;
+    c.radio.tx_power_dbm = mid;
+    c.target_avg_degree = 0.0;
+    c.restrict_to_largest_component = false;
+    double degree = 0.0;
+    constexpr int kSamples = 3;
+    for (int s = 0; s < kSamples; ++s) {
+      c.seed = config.seed + 7919ull * static_cast<std::uint64_t>(s);
+      degree += generate(c).etx.average_degree();
+    }
+    degree /= kSamples;
+    if (degree < target_avg_degree)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+Topology make_random_topology(const TopologyConfig& config) {
+  TopologyConfig c = config;
+  if (config.target_avg_degree > 0.0)
+    c.radio.tx_power_dbm = calibrate_tx_power(config, config.target_avg_degree);
+  return generate(c);
+}
+
+Topology make_grid(int rows, int cols, double spacing_m, double connect_radius_factor) {
+  Topology topo;
+  const int n = rows * cols;
+  topo.positions.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      topo.positions.push_back(Vec{static_cast<double>(c) * spacing_m,
+                                   static_cast<double>(r) * spacing_m});
+  topo.etx = graph::Graph(n);
+  topo.hops = graph::Graph(n);
+  topo.ett = graph::Graph(n);
+  topo.energy = graph::Graph(n);
+  const double radius = connect_radius_factor * spacing_m * 1.0001;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      if (topo.positions[static_cast<std::size_t>(i)].distance(
+              topo.positions[static_cast<std::size_t>(j)]) <= radius) {
+        topo.etx.add_bidirectional(i, j, 1.0, 1.0);
+        topo.hops.add_bidirectional(i, j, 1.0, 1.0);
+        topo.ett.add_bidirectional(i, j, 1.0, 1.0);
+        topo.energy.add_bidirectional(i, j, 1.0, 1.0);
+      }
+    }
+  return topo;
+}
+
+const char* metric_name(Metric m) {
+  switch (m) {
+    case Metric::kHopCount: return "hop count";
+    case Metric::kEtx: return "ETX";
+    case Metric::kEtt: return "ETT (ms)";
+    case Metric::kEnergy: return "energy (uJ)";
+  }
+  return "?";
+}
+
+}  // namespace gdvr::radio

@@ -1,0 +1,63 @@
+#include "routing/planar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gdvr::routing {
+
+PlanarGraph::PlanarGraph(std::span<const Vec> positions, const graph::Graph& links)
+    : pos_(positions.begin(), positions.end()),
+      adj_(static_cast<std::size_t>(links.size())),
+      angle_(static_cast<std::size_t>(links.size())) {
+  const int n = links.size();
+  GDVR_ASSERT(n == 0 || pos_[0].dim() == 2);
+  for (int u = 0; u < n; ++u) {
+    for (const graph::Edge& e : links.neighbors(u)) {
+      const int v = e.to;
+      if (v < u) continue;  // handle each undirected pair once
+      // Gabriel test: keep iff no witness inside the circle with diameter uv.
+      const Vec mid = (pos_[static_cast<std::size_t>(u)] + pos_[static_cast<std::size_t>(v)]) * 0.5;
+      const double r2 = pos_[static_cast<std::size_t>(u)].distance2(mid);
+      bool witnessed = false;
+      auto check = [&](int w) {
+        if (w == u || w == v) return;
+        if (pos_[static_cast<std::size_t>(w)].distance2(mid) < r2 * (1.0 - 1e-12)) witnessed = true;
+      };
+      for (const graph::Edge& we : links.neighbors(u)) check(we.to);
+      if (!witnessed)
+        for (const graph::Edge& we : links.neighbors(v)) check(we.to);
+      if (witnessed) continue;
+      adj_[static_cast<std::size_t>(u)].push_back(v);
+      adj_[static_cast<std::size_t>(v)].push_back(u);
+    }
+  }
+  for (int u = 0; u < n; ++u) {
+    auto& a = adj_[static_cast<std::size_t>(u)];
+    std::sort(a.begin(), a.end(), [&](int x, int y) { return angle_from(u, x) < angle_from(u, y); });
+    auto& angles = angle_[static_cast<std::size_t>(u)];
+    angles.reserve(a.size());
+    for (int v : a) angles.push_back(angle_from(u, v));
+  }
+}
+
+bool PlanarGraph::has_edge(int u, int v) const {
+  const auto& a = adj_[static_cast<std::size_t>(u)];
+  return std::find(a.begin(), a.end(), v) != a.end();
+}
+
+double PlanarGraph::angle_from(int u, int v) const {
+  const Vec d = pos_[static_cast<std::size_t>(v)] - pos_[static_cast<std::size_t>(u)];
+  return std::atan2(d[1], d[0]);
+}
+
+int PlanarGraph::next_ccw(int u, double ref_angle) const {
+  const auto& a = adj_[static_cast<std::size_t>(u)];
+  if (a.empty()) return -1;
+  const auto& angles = angle_[static_cast<std::size_t>(u)];
+  // First neighbor with angle strictly greater than ref (wrapping around).
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (angles[i] > ref_angle + 1e-12) return a[i];
+  return a[0];
+}
+
+}  // namespace gdvr::routing

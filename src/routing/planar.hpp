@@ -1,0 +1,48 @@
+// Gabriel-graph planarization and right-hand-rule face traversal.
+//
+// This powers the recovery mode of the NADV / GPSR-style baselines. On a
+// unit-disk graph, Gabriel planarization preserves connectivity and face
+// routing guarantees delivery; on the paper's *general* lossy connectivity
+// graphs it does not -- planarization can disconnect the graph or leave
+// crossing edges -- which is exactly why the paper's Figure 16(b) shows
+// NADV's success rate dropping below 100%. We reproduce that honestly.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/vec.hpp"
+#include "graph/graph.hpp"
+
+namespace gdvr::routing {
+
+class PlanarGraph {
+ public:
+  // Positions must be 2D. An edge (u, v) of `links` is kept iff no witness w
+  // (drawn from u's and v's physical neighborhoods, as a distributed
+  // implementation would) lies strictly inside the circle with diameter uv.
+  PlanarGraph(std::span<const Vec> positions, const graph::Graph& links);
+
+  // Neighbors of u sorted by angle around u (counterclockwise).
+  std::span<const int> neighbors(int u) const {
+    return adj_[static_cast<std::size_t>(u)];
+  }
+  bool has_edge(int u, int v) const;
+
+  // Right-hand rule: the next edge counterclockwise from the reference
+  // direction (either the reversed incoming edge, or the direction toward
+  // the destination when entering perimeter mode). Returns -1 if u has no
+  // planar neighbors.
+  int next_ccw(int u, double ref_angle) const;
+
+  double angle_from(int u, int v) const;
+
+  const Vec& position(int u) const { return pos_[static_cast<std::size_t>(u)]; }
+
+ private:
+  std::vector<Vec> pos_;
+  std::vector<std::vector<int>> adj_;       // angle-sorted
+  std::vector<std::vector<double>> angle_;  // matching angles
+};
+
+}  // namespace gdvr::routing

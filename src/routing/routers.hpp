@@ -1,0 +1,53 @@
+// Packet-forwarding evaluation of GDV and the baseline protocols.
+//
+// Routers walk a packet hop by hop over the physical graph, summing metric
+// costs and counting transmissions. With ETX as the metric the accumulated
+// cost *is* the paper's "average number of transmissions per delivery"; with
+// hop count it is the path length used for routing stretch.
+//
+//  * route_gdv        -- the paper's full GDV (Figure 7, right column):
+//                        DV-style cost minimization over physical + multi-hop
+//                        DT neighbors, MDT-greedy fallback, guaranteed
+//                        delivery on a correct multi-hop DT.
+//  * route_gdv_basic  -- Figure 7, left column: physical neighbors only,
+//                        generic geographic-routing fallback.
+//  * route_mdt_greedy -- MDT-greedy alone (the paper's strongest prior
+//                        geographic baseline, run on actual locations).
+//  * route_nadv       -- NADV (Lee et al.): maximize (d(u,t)-d(y,t))/c(u,y),
+//                        with GPSR-style perimeter recovery on a Gabriel
+//                        planarization (imperfect on general lossy graphs,
+//                        as the paper observes).
+//  * route_gpsr       -- plain greedy + perimeter (used as GDV_basic's GR
+//                        and as an extra baseline).
+#pragma once
+
+#include <span>
+
+#include "routing/mdt_view.hpp"
+#include "routing/planar.hpp"
+
+namespace gdvr::routing {
+
+struct RouteResult {
+  bool success = false;
+  int transmissions = 0;  // physical link traversals
+  double cost = 0.0;      // sum of per-link metric costs
+  std::vector<int> path;  // nodes visited, source first (source only if no hops)
+};
+
+RouteResult route_gdv(const MdtView& view, int s, int t);
+
+// `recovery` may be null (3D+ virtual spaces have no planar recovery; the
+// route fails at a greedy local minimum, as any GR without recovery would).
+RouteResult route_gdv_basic(const MdtView& view, int s, int t,
+                            const PlanarGraph* recovery = nullptr);
+
+RouteResult route_mdt_greedy(const MdtView& view, int s, int t);
+
+RouteResult route_nadv(std::span<const Vec> pos, const graph::Graph& metric,
+                       const PlanarGraph& planar, int s, int t);
+
+RouteResult route_gpsr(std::span<const Vec> pos, const graph::Graph& metric,
+                       const PlanarGraph& planar, int s, int t);
+
+}  // namespace gdvr::routing

@@ -1,0 +1,116 @@
+// Network binding for the discrete-event simulator: delivers typed messages
+// between physically connected nodes with uniform-random per-hop delay, and
+// accounts every transmission (the paper's communication-cost metric counts
+// messages sent per node, including each hop of a multi-hop forwarding).
+//
+// Delivery is reliable: link lossiness is captured by the routing metric
+// (ETX), not by dropping control messages -- the same abstraction the paper
+// uses. Nodes can be dead (churn): dead nodes neither send nor receive, and
+// messages in flight to a node that dies are dropped on arrival.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "sim/simulator.hpp"
+
+namespace gdvr::sim {
+
+template <typename Message>
+class NetSim {
+ public:
+  // `links` defines physical connectivity and per-direction link costs in the
+  // experiment's routing metric.
+  NetSim(Simulator& sim, const graph::Graph& links, double delay_min, double delay_max,
+         std::uint64_t seed)
+      : sim_(sim),
+        links_(links),
+        delay_min_(delay_min),
+        delay_max_(delay_max),
+        rng_(seed),
+        alive_(static_cast<std::size_t>(links.size()), true),
+        sent_(static_cast<std::size_t>(links.size()), 0) {}
+
+  Simulator& simulator() { return sim_; }
+  const graph::Graph& links() const { return links_; }
+  int size() const { return links_.size(); }
+
+  // Handler invoked as (to, from, message) on delivery.
+  void set_receiver(std::function<void(int, int, Message)> handler) {
+    receiver_ = std::move(handler);
+  }
+
+  // Optional lossy control plane: each transmission over link (u, v) is
+  // dropped with probability 1 - PRR(u, v), where PRR = 1/ETX from the given
+  // cost graph (clamped to [0, 1]). By default delivery is reliable -- the
+  // paper folds link lossiness into the routing metric only; this knob
+  // exposes the protocols to real message loss (see the control-loss
+  // ablation bench).
+  void set_loss_from_etx(const graph::Graph& etx) { loss_etx_ = &etx; }
+  void clear_loss_model() { loss_etx_ = nullptr; }
+  std::uint64_t messages_lost() const { return lost_; }
+
+  bool alive(int node) const { return alive_[static_cast<std::size_t>(node)]; }
+  void set_alive(int node, bool alive) { alive_[static_cast<std::size_t>(node)] = alive; }
+
+  // Link-layer view: alive physical neighbors of an alive node, with costs.
+  std::vector<graph::Edge> alive_neighbors(int u) const {
+    std::vector<graph::Edge> result;
+    if (!alive(u)) return result;
+    for (const graph::Edge& e : links_.neighbors(u))
+      if (alive(e.to)) result.push_back(e);
+    return result;
+  }
+
+  double link_cost(int u, int v) const { return links_.link_cost(u, v); }
+
+  // Sends over the physical link from -> to. Returns false (and sends
+  // nothing) if the link does not exist or either endpoint is dead at send
+  // time. The transmission is counted at the sender.
+  bool send(int from, int to, Message msg) {
+    if (!alive(from) || !alive(to)) return false;
+    if (!links_.has_edge(from, to)) return false;
+    ++sent_[static_cast<std::size_t>(from)];
+    ++total_sent_;
+    if (loss_etx_ != nullptr) {
+      const double etx = loss_etx_->link_cost(from, to);
+      const double prr = etx >= 1.0 ? 1.0 / etx : 1.0;
+      if (!rng_.bernoulli(prr)) {
+        ++lost_;
+        return true;  // transmitted (and counted), but never arrives
+      }
+    }
+    const double delay = rng_.uniform(delay_min_, delay_max_);
+    sim_.schedule_in(delay, [this, from, to, m = std::move(msg)]() mutable {
+      if (!alive(to)) return;  // receiver died while the message was in flight
+      if (receiver_) receiver_(to, from, std::move(m));
+    });
+    return true;
+  }
+
+  std::uint64_t messages_sent(int node) const { return sent_[static_cast<std::size_t>(node)]; }
+  std::uint64_t total_messages_sent() const { return total_sent_; }
+  void reset_counters() {
+    std::fill(sent_.begin(), sent_.end(), 0);
+    total_sent_ = 0;
+  }
+
+ private:
+  Simulator& sim_;
+  const graph::Graph& links_;
+  double delay_min_;
+  double delay_max_;
+  Rng rng_;
+  std::vector<bool> alive_;
+  std::vector<std::uint64_t> sent_;
+  std::uint64_t total_sent_ = 0;
+  std::uint64_t lost_ = 0;
+  const graph::Graph* loss_etx_ = nullptr;
+  std::function<void(int, int, Message)> receiver_;
+};
+
+}  // namespace gdvr::sim

@@ -1,0 +1,98 @@
+// Packet-level discrete-event simulation engine.
+//
+// Matches the paper's methodology (Section IV-A): queueing is not modeled;
+// each message takes a uniformly random time to cross a link. Events with
+// equal timestamps fire in scheduling order (a monotone sequence number
+// breaks ties), so runs are fully deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace gdvr::sim {
+
+using Time = double;  // seconds
+
+class Simulator {
+ public:
+  using EventId = std::uint64_t;
+
+  Time now() const { return now_; }
+
+  EventId schedule_at(Time at, std::function<void()> fn) {
+    GDVR_ASSERT_MSG(at >= now_, "cannot schedule in the past");
+    const EventId id = next_id_++;
+    queue_.push(Entry{at, id});
+    callbacks_.emplace_back(std::move(fn));
+    cancelled_.push_back(false);
+    return id;
+  }
+
+  EventId schedule_in(Time delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  void cancel(EventId id) {
+    if (id < cancelled_.size()) cancelled_[id] = true;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+  // Runs one event; returns false if the queue is empty.
+  bool step() {
+    while (!queue_.empty()) {
+      const Entry e = queue_.top();
+      queue_.pop();
+      now_ = e.at;
+      if (cancelled_[e.id]) continue;
+      // Move the callback out so it can schedule new events freely.
+      auto fn = std::move(callbacks_[e.id]);
+      fn();
+      return true;
+    }
+    return false;
+  }
+
+  // Runs all events with time <= t, then advances the clock to exactly t.
+  void run_until(Time t) {
+    while (!queue_.empty()) {
+      const Entry e = queue_.top();
+      if (e.at > t) break;
+      if (cancelled_[e.id]) {
+        queue_.pop();
+        continue;  // drop tombstones without touching the clock
+      }
+      step();
+    }
+    GDVR_ASSERT(now_ <= t);
+    now_ = t;
+  }
+
+  // Drains the whole queue (use with care: protocols with periodic timers
+  // never drain; prefer run_until).
+  void run_all(std::size_t max_events = SIZE_MAX) {
+    for (std::size_t i = 0; i < max_events && step(); ++i) {
+    }
+  }
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;
+    // Earliest time first; FIFO among equal times via the monotone id.
+    bool operator>(const Entry& o) const { return at != o.at ? at > o.at : id > o.id; }
+  };
+
+  Time now_ = 0.0;
+  EventId next_id_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::vector<std::function<void()>> callbacks_;
+  std::vector<bool> cancelled_;
+};
+
+}  // namespace gdvr::sim

@@ -1,0 +1,83 @@
+// 2-hop Vivaldi baseline (paper Section I and Figures 2, 12, 14).
+//
+// The paper enhances the classic Vivaldi network coordinate algorithm with
+// just enough routing support for a wireless network: in every adjustment
+// period a node samples random members of its 1-hop neighbor set 100 times
+// and of its 2-hop neighbor set 100 times, measuring the routing cost of
+// each sample and applying the standard Vivaldi spring update with
+// confidence weighting. Two-hop sets are learned from periodic neighbor-list
+// broadcasts; two-hop samples are relayed through a shared physical
+// neighbor. This reproduces the paper's observation that 2-hop Vivaldi
+// preserves local relationships but collapses global ones -- and that it
+// costs far more storage and messages per period than VPoD.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/vec.hpp"
+#include "sim/netsim.hpp"
+
+namespace gdvr::vivaldi {
+
+using NodeId = int;
+
+struct VivMsg {
+  enum class Kind { kNbrList, kSampleRequest, kSampleReply };
+  Kind kind = Kind::kNbrList;
+  NodeId origin = -1;
+  NodeId target = -1;
+  std::vector<NodeId> route;  // fixed route for relayed samples (origin first)
+  int route_idx = 0;
+  double accum_cost = 0.0;  // forward-path cost (the sampled routing cost)
+  Vec pos;                  // replier's coordinates
+  double err = 1.0;         // replier's confidence
+  std::vector<NodeId> nbr_ids;  // payload of kNbrList
+};
+
+struct VivaldiConfig {
+  int dim = 3;
+  double cc = 0.25;  // Vivaldi's delta scaling
+  double ce = 0.25;  // Vivaldi's error smoothing
+  double period_s = 26.0;  // one adjustment period (compare: VPoD Tj + Ta)
+  int one_hop_samples = 100;
+  int two_hop_samples = 100;
+  std::uint64_t seed = 7;
+};
+
+class TwoHopVivaldi {
+ public:
+  TwoHopVivaldi(sim::NetSim<VivMsg>& net, const VivaldiConfig& config);
+
+  // Installs the receiver and starts periodic sampling at every alive node
+  // (staggered within the first second).
+  void start();
+
+  const Vec& position(NodeId u) const { return pos_[static_cast<std::size_t>(u)]; }
+  std::vector<Vec> positions() const { return pos_; }
+  double error(NodeId u) const { return err_[static_cast<std::size_t>(u)]; }
+  int completed_periods(NodeId u) const { return periods_[static_cast<std::size_t>(u)]; }
+
+  // Storage metric: |1-hop ∪ 2-hop neighbor set| (what the node must know to
+  // sample and to run GDV_basic on Vivaldi coordinates).
+  int distinct_nodes_stored(NodeId u) const;
+
+ private:
+  void begin_period(NodeId u);
+  void do_sample(NodeId u);
+  void handle(NodeId to, NodeId from, VivMsg msg);
+  void vivaldi_update(NodeId u, const Vec& remote_pos, double remote_err, double cost);
+
+  sim::NetSim<VivMsg>& net_;
+  VivaldiConfig config_;
+  std::vector<Vec> pos_;
+  std::vector<double> err_;
+  std::vector<int> periods_;
+  // Two-hop map: target -> relay neighbor (first seen wins; refreshed each period).
+  std::vector<std::map<NodeId, NodeId>> two_hop_;
+  Rng rng_;
+};
+
+}  // namespace gdvr::vivaldi

@@ -1,0 +1,155 @@
+#include "vpod/live_gdv.hpp"
+
+#include <cmath>
+
+namespace gdvr::vpod {
+
+using mdt::Envelope;
+using mdt::Kind;
+using mdt::NeighborView;
+
+LiveGdv::LiveGdv(mdt::Net& net, Vpod& vpod) : net_(net), vpod_(vpod) {
+  net_.set_receiver([this](NodeId to, NodeId from, Envelope m) { handle(to, from, std::move(m)); });
+}
+
+std::uint64_t LiveGdv::send_packet(NodeId s, NodeId t) {
+  const std::uint64_t id = next_id_++;
+  Delivery d;
+  d.sent_at = net_.simulator().now();
+  packets_.emplace(id, d);
+
+  Envelope m;
+  m.kind = Kind::kData;
+  m.origin = s;
+  m.target = t;
+  // Location-service lookup: the destination's current virtual position.
+  m.target_pos = vpod_.overlay().position(t);
+  m.token = id;
+  m.ttl = 12 * net_.size() + 64;
+  forward(s, std::move(m));
+  return id;
+}
+
+double LiveGdv::mean_delivered_cost() const {
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& [id, d] : packets_) {
+    (void)id;
+    if (d.delivered) {
+      sum += d.cost;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+void LiveGdv::handle(NodeId to, NodeId from, Envelope msg) {
+  if (msg.kind != Kind::kData) {
+    vpod_.handle(to, from, std::move(msg));
+    return;
+  }
+  // Account the hop that just happened (forward-direction metric cost).
+  msg.accum_cost += net_.link_cost(from, to);
+  auto it = packets_.find(msg.token);
+  if (it != packets_.end()) {
+    ++it->second.transmissions;
+    it->second.cost = msg.accum_cost;
+  }
+
+  if (to == msg.target) {
+    if (it != packets_.end()) {
+      it->second.delivered = true;
+      it->second.delivered_at = net_.simulator().now();
+    }
+    return;
+  }
+
+  // Mid-virtual-link relay: follow the source route; GDV resumes at its end.
+  if (msg.detour) {
+    const auto idx = static_cast<std::size_t>(msg.route_idx);
+    if (idx + 1 < msg.route.size() && msg.route[idx + 1] == to) ++msg.route_idx;
+    if (msg.route_idx < static_cast<int>(msg.route.size()) - 1) {
+      const NodeId next = msg.route[static_cast<std::size_t>(msg.route_idx) + 1];
+      (void)net_.send(to, next, std::move(msg));
+      return;
+    }
+    msg.detour = false;
+    msg.route.clear();
+    msg.route_idx = 0;
+  }
+  forward(to, std::move(msg));
+}
+
+void LiveGdv::forward(NodeId u, Envelope msg) {
+  if (msg.ttl-- <= 0) return drop(msg);
+  const auto& overlay = vpod_.overlay();
+  if (!overlay.active(u) || !net_.alive(u)) return drop(msg);
+
+  const Vec& tpos = msg.target_pos;
+  const double own = overlay.position(u).distance(tpos);
+  const auto views = overlay.neighbor_views(u);
+
+  // Lines 1-3 (Fig. 7, right column): DV estimates over P_u ∪ N_u from u's
+  // own knowledge of neighbor positions and costs.
+  const NeighborView* best = nullptr;
+  double best_r = graph::kInf;
+  for (const NeighborView& v : views) {
+    if (!net_.alive(v.id)) continue;  // link layer knows dead neighbors
+    const double r = v.cost + v.pos.distance(tpos);
+    if (r < best_r) {
+      best_r = r;
+      best = &v;
+    }
+  }
+  if (best && best_r < own) {
+    if (best->is_phys) {
+      const NodeId next = best->id;
+      (void)net_.send(u, next, std::move(msg));
+      return;
+    }
+    const auto& path = overlay.virtual_path(u, best->id);
+    if (path.size() >= 2) {
+      msg.detour = true;
+      msg.route = path;
+      msg.route_idx = 0;
+      const NodeId next = path[1];
+      (void)net_.send(u, next, std::move(msg));
+      return;
+    }
+  }
+
+  // Line 5: MDT-greedy fallback on u's local state.
+  const NeighborView* gbest = nullptr;
+  double gbest_d = own;
+  for (const NeighborView& v : views) {
+    if (!v.is_phys || !net_.alive(v.id)) continue;
+    const double d = v.pos.distance(tpos);
+    if (d < gbest_d) {
+      gbest_d = d;
+      gbest = &v;
+    }
+  }
+  if (gbest) {
+    const NodeId next = gbest->id;
+    (void)net_.send(u, next, std::move(msg));
+    return;
+  }
+  gbest_d = own;
+  for (const NeighborView& v : views) {
+    if (v.is_phys || !v.is_dt) continue;
+    const double d = v.pos.distance(tpos);
+    if (d < gbest_d && overlay.virtual_path(u, v.id).size() >= 2) {
+      gbest_d = d;
+      gbest = &v;
+    }
+  }
+  if (!gbest) return drop(msg);  // local minimum: DT incomplete here
+  const auto& path = overlay.virtual_path(u, gbest->id);
+  msg.detour = true;
+  msg.route = path;
+  msg.route_idx = 0;
+  const NodeId next = path[1];
+  (void)net_.send(u, next, std::move(msg));
+}
+
+}  // namespace gdvr::vpod

@@ -1,0 +1,191 @@
+// Tests for the common substrate: vectors, RNG, statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/vec.hpp"
+
+namespace gdvr {
+namespace {
+
+// ---------- Vec ----------
+
+TEST(Vec, ConstructionAndAccess) {
+  Vec v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.dim(), 3);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+  Vec z = Vec::zero(5);
+  EXPECT_EQ(z.dim(), 5);
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(z[i], 0.0);
+}
+
+TEST(Vec, Arithmetic) {
+  const Vec a{1, 2}, b{3, 5};
+  EXPECT_EQ(a + b, (Vec{4, 7}));
+  EXPECT_EQ(b - a, (Vec{2, 3}));
+  EXPECT_EQ(a * 2.0, (Vec{2, 4}));
+  EXPECT_EQ(2.0 * a, (Vec{2, 4}));
+  EXPECT_EQ(b / 2.0, (Vec{1.5, 2.5}));
+}
+
+TEST(Vec, DotNormDistance) {
+  const Vec a{3, 4};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(a.dot(Vec{1, 1}), 7.0);
+  EXPECT_DOUBLE_EQ(a.distance(Vec{0, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance(a, Vec{3, 0}), 4.0);
+}
+
+TEST(Vec, UnitVector) {
+  const Vec a{3, 4};
+  const Vec u = a.unit();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(u[0], 0.6, 1e-12);
+  // Zero vector: deterministic unit along the first axis, never NaN.
+  const Vec z = Vec::zero(3).unit();
+  EXPECT_NEAR(z.norm(), 1.0, 1e-12);
+  EXPECT_TRUE(z.finite());
+}
+
+TEST(Vec, FiniteDetection) {
+  Vec v{1, 2};
+  EXPECT_TRUE(v.finite());
+  v[0] = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(v.finite());
+  v[0] = std::nan("");
+  EXPECT_FALSE(v.finite());
+}
+
+TEST(Vec, CompoundAssignment) {
+  Vec a{1, 1};
+  a += Vec{2, 3};
+  EXPECT_EQ(a, (Vec{3, 4}));
+  a -= Vec{1, 1};
+  EXPECT_EQ(a, (Vec{2, 3}));
+  a *= 3.0;
+  EXPECT_EQ(a, (Vec{6, 9}));
+}
+
+// ---------- Rng ----------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const auto x = rng.uniform_int(7);
+    EXPECT_LT(x, 7u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  RunningStat rs;
+  for (int i = 0; i < 20000; ++i) rs.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(rs.mean(), 10.0, 0.1);
+  EXPECT_NEAR(rs.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, PointOnSphereRadius) {
+  Rng rng(13);
+  const Vec c{1, 2, 3};
+  for (int i = 0; i < 100; ++i) {
+    const Vec p = rng.point_on_sphere(c, 2.5);
+    EXPECT_NEAR(p.distance(c), 2.5, 1e-9);
+  }
+}
+
+TEST(Rng, PointInBox) {
+  Rng rng(17);
+  const Vec extent{10.0, 5.0};
+  for (int i = 0; i < 200; ++i) {
+    const Vec p = rng.point_in_box(extent);
+    EXPECT_GE(p[0], 0.0);
+    EXPECT_LT(p[0], 10.0);
+    EXPECT_GE(p[1], 0.0);
+    EXPECT_LT(p[1], 5.0);
+  }
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng base(42);
+  Rng a = base.split(1);
+  Rng b = base.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+// ---------- stats ----------
+
+TEST(Stats, RunningStatBasics) {
+  RunningStat rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(Stats, RunningStatMerge) {
+  RunningStat a, b, all;
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(median_of({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, MeanStddevSpan) {
+  const std::vector<double> xs{1.0, 3.0, 5.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 3.0);
+  EXPECT_DOUBLE_EQ(stddev_of(xs), 2.0);
+  EXPECT_DOUBLE_EQ(mean_of(std::vector<double>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace gdvr

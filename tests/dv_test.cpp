@@ -1,0 +1,130 @@
+// Tests for the distributed Distance Vector baseline.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "radio/topology.hpp"
+#include "routing/distance_vector.hpp"
+#include "sim/simulator.hpp"
+
+namespace gdvr::routing {
+namespace {
+
+struct Fixture {
+  graph::Graph g;
+  sim::Simulator sim;
+  std::unique_ptr<sim::NetSim<DvMsg>> net;
+  std::unique_ptr<DistanceVector> dv;
+
+  explicit Fixture(graph::Graph graph) : g(std::move(graph)) {
+    net = std::make_unique<sim::NetSim<DvMsg>>(sim, g, 0.001, 0.01, 7);
+    dv = std::make_unique<DistanceVector>(*net);
+    dv->start();
+  }
+
+  void settle(double seconds = 60.0) { sim.run_until(seconds); }
+};
+
+TEST(DistanceVector, LineConverges) {
+  graph::Graph g(5);
+  for (int i = 0; i + 1 < 5; ++i) g.add_bidirectional(i, i + 1, 2.0, 2.0);
+  Fixture f(std::move(g));
+  f.settle();
+  EXPECT_TRUE(f.dv->converged());
+  EXPECT_DOUBLE_EQ(f.dv->cost(0, 4), 8.0);
+  EXPECT_EQ(f.dv->next_hop(0, 4), 1);
+  EXPECT_EQ(f.dv->next_hop(4, 0), 3);
+}
+
+TEST(DistanceVector, RespectsAsymmetricCosts) {
+  graph::Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 0, 5.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 1, 1.0);
+  g.add_edge(0, 2, 10.0);
+  g.add_edge(2, 0, 1.5);
+  Fixture f(std::move(g));
+  f.settle();
+  EXPECT_TRUE(f.dv->converged());
+  EXPECT_DOUBLE_EQ(f.dv->cost(0, 2), 2.0);   // 0->1->2
+  EXPECT_DOUBLE_EQ(f.dv->cost(2, 0), 1.5);   // direct
+  EXPECT_DOUBLE_EQ(f.dv->cost(1, 0), 2.5);   // 1->2->0 beats the 5.0 link
+  EXPECT_EQ(f.dv->next_hop(1, 0), 2);
+}
+
+TEST(DistanceVector, MatchesDijkstraOnRandomTopologies) {
+  for (std::uint64_t seed : {3u, 9u}) {
+    radio::TopologyConfig tc;
+    tc.n = 60;
+    tc.seed = seed;
+    tc.target_avg_degree = 14.5;
+    const radio::Topology topo = radio::make_random_topology(tc);
+    Fixture f(topo.etx);
+    f.settle(90.0);
+    EXPECT_TRUE(f.dv->converged()) << "seed=" << seed;
+  }
+}
+
+TEST(DistanceVector, RoutesFollowTables) {
+  radio::TopologyConfig tc;
+  tc.n = 50;
+  tc.seed = 4;
+  tc.target_avg_degree = 14.5;
+  const radio::Topology topo = radio::make_random_topology(tc);
+  Fixture f(topo.etx);
+  f.settle(90.0);
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int s = rng.uniform_index(topo.size());
+    int t = rng.uniform_index(topo.size() - 1);
+    if (t >= s) ++t;
+    const RouteResult r = f.dv->route(s, t);
+    ASSERT_TRUE(r.success);
+    EXPECT_NEAR(r.cost, f.dv->cost(s, t), 1e-9);  // walked path matches table
+    const auto sp = graph::dijkstra(topo.etx, s);
+    EXPECT_NEAR(r.cost, sp.dist[static_cast<std::size_t>(t)], 1e-9);  // and is optimal
+  }
+}
+
+TEST(DistanceVector, StorageIsThetaN) {
+  radio::TopologyConfig tc;
+  tc.n = 70;
+  tc.seed = 6;
+  tc.target_avg_degree = 14.5;
+  const radio::Topology topo = radio::make_random_topology(tc);
+  Fixture f(topo.etx);
+  f.settle(90.0);
+  for (int u = 0; u < topo.size(); ++u)
+    EXPECT_EQ(f.dv->distinct_nodes_stored(u), topo.size() - 1);
+}
+
+TEST(DistanceVector, MessageCostGrowsWithN) {
+  auto messages_per_node = [](int n) {
+    radio::TopologyConfig tc;
+    tc.n = n;
+    tc.seed = 11;
+    tc.target_avg_degree = 14.5;
+    const radio::Topology topo = radio::make_random_topology(tc);
+    Fixture f(topo.etx);
+    f.settle(40.0);
+    // Count *vector entries* shipped, the honest O(N) cost: approximate by
+    // messages * table size at convergence.
+    return static_cast<double>(f.net->total_messages_sent()) / topo.size() *
+           static_cast<double>(topo.size());
+  };
+  // Entries shipped grow super-linearly in N.
+  EXPECT_GT(messages_per_node(80), 1.8 * messages_per_node(40));
+}
+
+TEST(DistanceVector, UnreachableStaysInf) {
+  graph::Graph g(4);
+  g.add_bidirectional(0, 1, 1, 1);
+  g.add_bidirectional(2, 3, 1, 1);
+  Fixture f(std::move(g));
+  f.settle(30.0);
+  EXPECT_EQ(f.dv->cost(0, 2), graph::kInf);
+  EXPECT_FALSE(f.dv->route(0, 3).success);
+}
+
+}  // namespace
+}  // namespace gdvr::routing

@@ -1,0 +1,280 @@
+// Tests for d-dimensional predicates and the incremental Delaunay
+// triangulation, validated against an independent brute-force oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "geom/brute_force.hpp"
+#include "geom/delaunay.hpp"
+#include "geom/predicates.hpp"
+
+namespace gdvr::geom {
+namespace {
+
+std::vector<Vec> random_points(int n, int dim, std::uint64_t seed, double scale = 1.0) {
+  Rng rng(seed);
+  std::vector<Vec> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Vec p(dim);
+    for (int c = 0; c < dim; ++c) p[c] = rng.uniform(0.0, scale);
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+// ---------- predicates ----------
+
+TEST(Predicates, Orient2D) {
+  const Vec a{0, 0}, b{1, 0}, c{0, 1};
+  EXPECT_GT(orient(std::vector<Vec>{a, b, c}), 0.0);
+  EXPECT_LT(orient(std::vector<Vec>{a, c, b}), 0.0);
+  const Vec d{2, 0};
+  EXPECT_DOUBLE_EQ(orient(std::vector<Vec>{a, b, d}), 0.0);
+}
+
+TEST(Predicates, Orient3D) {
+  const Vec a{0, 0, 0}, b{1, 0, 0}, c{0, 1, 0}, d{0, 0, 1};
+  const double o1 = orient(std::vector<Vec>{a, b, c, d});
+  const double o2 = orient(std::vector<Vec>{a, c, b, d});
+  EXPECT_LT(o1 * o2, 0.0);  // swapping two vertices flips the sign
+  EXPECT_NE(o1 > 0, o2 > 0);
+  const Vec coplanar{0.5, 0.5, 0};
+  EXPECT_DOUBLE_EQ(orient(std::vector<Vec>{a, b, c, coplanar}), 0.0);
+}
+
+TEST(Predicates, InSphere2DUnitCircle) {
+  // Circumcircle of this triangle is the unit circle.
+  const Vec a{1, 0}, b{-1, 0}, c{0, 1};
+  const std::vector<Vec> tri{a, b, c};
+  EXPECT_GT(in_sphere(tri, Vec{0, 0}), 0.0);
+  EXPECT_GT(in_sphere(tri, Vec{0.5, -0.5}), 0.0);
+  EXPECT_LT(in_sphere(tri, Vec{2, 0}), 0.0);
+  EXPECT_LT(in_sphere(tri, Vec{0, -1.001}), 0.0);
+  EXPECT_NEAR(in_sphere(tri, Vec{0, -1}), 0.0, 1e-12);
+}
+
+TEST(Predicates, InSphereOrientationIndependent) {
+  const Vec a{1, 0}, b{-1, 0}, c{0, 1};
+  const Vec q{0.1, 0.2};
+  const double s1 = in_sphere(std::vector<Vec>{a, b, c}, q);
+  const double s2 = in_sphere(std::vector<Vec>{a, c, b}, q);
+  EXPECT_GT(s1, 0.0);
+  EXPECT_GT(s2, 0.0);
+  EXPECT_NEAR(s1, s2, 1e-12);
+}
+
+TEST(Predicates, InSphereMatchesCircumsphereDistance) {
+  // Property: sign(in_sphere) == sign(r^2 - |q - center|^2) for random simplices.
+  for (int dim = 2; dim <= 4; ++dim) {
+    Rng rng(77u + static_cast<std::uint64_t>(dim));
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<Vec> simplex;
+      for (int i = 0; i <= dim; ++i) {
+        Vec p(dim);
+        for (int c = 0; c < dim; ++c) p[c] = rng.uniform(-1.0, 1.0);
+        simplex.push_back(p);
+      }
+      Vec center;
+      double r2 = 0.0;
+      if (!circumsphere(simplex, center, r2)) continue;
+      Vec q(dim);
+      for (int c = 0; c < dim; ++c) q[c] = rng.uniform(-2.0, 2.0);
+      const double margin = r2 - q.distance2(center);
+      if (std::fabs(margin) < 1e-9 * r2) continue;  // too close to the sphere
+      const double pred = in_sphere(simplex, q);
+      EXPECT_EQ(pred > 0.0, margin > 0.0)
+          << "dim=" << dim << " trial=" << trial << " margin=" << margin << " pred=" << pred;
+    }
+  }
+}
+
+TEST(Predicates, CircumsphereEquidistant) {
+  Rng rng(123);
+  for (int dim = 2; dim <= 5; ++dim) {
+    std::vector<Vec> simplex;
+    for (int i = 0; i <= dim; ++i) {
+      Vec p(dim);
+      for (int c = 0; c < dim; ++c) p[c] = rng.uniform(0.0, 10.0);
+      simplex.push_back(p);
+    }
+    Vec center;
+    double r2 = 0.0;
+    ASSERT_TRUE(circumsphere(simplex, center, r2));
+    for (const Vec& p : simplex) EXPECT_NEAR(p.distance2(center), r2, 1e-6 * (1.0 + r2));
+  }
+}
+
+TEST(Predicates, DegenerateSimplexRejected) {
+  // Collinear "triangle" has no circumcircle.
+  const std::vector<Vec> collinear{Vec{0, 0}, Vec{1, 1}, Vec{2, 2}};
+  Vec center;
+  double r2 = 0.0;
+  EXPECT_FALSE(circumsphere(collinear, center, r2));
+}
+
+TEST(Predicates, DeterminantKnownValues) {
+  std::vector<std::vector<double>> m{{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(determinant_inplace(m), -2.0);
+  std::vector<std::vector<double>> id{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  EXPECT_DOUBLE_EQ(determinant_inplace(id), 1.0);
+  std::vector<std::vector<double>> sing{{1, 2, 3}, {2, 4, 6}, {1, 1, 1}};
+  EXPECT_DOUBLE_EQ(determinant_inplace(sing), 0.0);
+}
+
+// ---------- triangulation vs oracle ----------
+
+struct DtCase {
+  int n;
+  int dim;
+  std::uint64_t seed;
+};
+
+class DelaunayOracleTest : public ::testing::TestWithParam<DtCase> {};
+
+TEST_P(DelaunayOracleTest, MatchesBruteForce) {
+  const auto [n, dim, seed] = GetParam();
+  const auto pts = random_points(n, dim, seed);
+  const DelaunayGraph dt = delaunay_graph(pts);
+  ASSERT_FALSE(dt.complete_graph_fallback);
+  const auto oracle = brute_force_delaunay_edges(pts);
+  EXPECT_EQ(dt.edges, oracle) << "n=" << n << " dim=" << dim << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DelaunayOracleTest,
+    ::testing::Values(DtCase{5, 2, 1}, DtCase{10, 2, 2}, DtCase{20, 2, 3}, DtCase{35, 2, 4},
+                      DtCase{35, 2, 5}, DtCase{6, 3, 6}, DtCase{12, 3, 7}, DtCase{20, 3, 8},
+                      DtCase{25, 3, 9}, DtCase{8, 4, 10}, DtCase{14, 4, 11}, DtCase{18, 4, 12},
+                      DtCase{20, 2, 13}, DtCase{20, 3, 14}, DtCase{16, 4, 15}));
+
+TEST(Delaunay, EmptyCircumsphereProperty) {
+  for (int dim = 2; dim <= 4; ++dim) {
+    const auto pts = random_points(40, dim, 99u + static_cast<std::uint64_t>(dim));
+    Triangulation t;
+    ASSERT_TRUE(t.build(pts));
+    EXPECT_TRUE(t.empty_circumsphere_property()) << "dim=" << dim;
+  }
+}
+
+TEST(Delaunay, GridPointsNeedJitter) {
+  // A perfect grid is maximally degenerate (co-circular quadruples); the
+  // built-in jitter must still produce a valid triangulation.
+  std::vector<Vec> pts;
+  for (int r = 0; r < 6; ++r)
+    for (int c = 0; c < 6; ++c) pts.push_back(Vec{static_cast<double>(c), static_cast<double>(r)});
+  const DelaunayGraph dt = delaunay_graph(pts);
+  EXPECT_FALSE(dt.complete_graph_fallback);
+  // All 60 grid edges must be Delaunay edges (they are the shortest pairs).
+  for (int r = 0; r < 6; ++r)
+    for (int c = 0; c < 6; ++c) {
+      const int u = r * 6 + c;
+      if (c + 1 < 6) {
+        EXPECT_TRUE(dt.has_edge(u, u + 1));
+      }
+      if (r + 1 < 6) {
+        EXPECT_TRUE(dt.has_edge(u, u + 6));
+      }
+    }
+}
+
+TEST(Delaunay, EdgeCountsPlausible2D) {
+  // Euler's formula: a 2D Delaunay triangulation of n points with h hull
+  // points has 3n - 3 - h edges; so between 2n-3 and 3n-6 for n >= 3.
+  for (std::uint64_t seed = 20; seed < 30; ++seed) {
+    const int n = 60;
+    const auto pts = random_points(n, 2, seed);
+    const DelaunayGraph dt = delaunay_graph(pts);
+    ASSERT_FALSE(dt.complete_graph_fallback);
+    EXPECT_GE(static_cast<int>(dt.edges.size()), 2 * n - 3);
+    EXPECT_LE(static_cast<int>(dt.edges.size()), 3 * n - 6);
+  }
+}
+
+TEST(Delaunay, ConnectedGraph) {
+  // DT of any point set is connected.
+  for (int dim = 2; dim <= 4; ++dim) {
+    const auto pts = random_points(50, dim, 400u + static_cast<std::uint64_t>(dim));
+    const DelaunayGraph dt = delaunay_graph(pts);
+    std::vector<char> seen(pts.size(), 0);
+    std::vector<int> stack{0};
+    seen[0] = 1;
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      for (int v : dt.nbrs[static_cast<std::size_t>(u)])
+        if (!seen[static_cast<std::size_t>(v)]) {
+          seen[static_cast<std::size_t>(v)] = 1;
+          stack.push_back(v);
+        }
+    }
+    EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](char c) { return c != 0; }));
+  }
+}
+
+TEST(Delaunay, SmallInputs) {
+  // n <= dim+1 points: complete graph, no fallback flag.
+  const auto pts = random_points(3, 3, 1);
+  const DelaunayGraph dt = delaunay_graph(pts);
+  EXPECT_FALSE(dt.complete_graph_fallback);
+  EXPECT_EQ(dt.edges.size(), 3u);
+
+  const auto one = random_points(1, 2, 1);
+  EXPECT_TRUE(delaunay_graph(one).edges.empty());
+  EXPECT_TRUE(delaunay_graph(std::vector<Vec>{}).edges.empty());
+}
+
+TEST(Delaunay, DegenerateCollinearFallsBack) {
+  std::vector<Vec> pts;
+  for (int i = 0; i < 8; ++i) pts.push_back(Vec{static_cast<double>(i), 2.0 * i});
+  const DelaunayGraph dt = delaunay_graph(pts);
+  // Perfectly collinear input has affine rank 1 < 2. Jitter may rescue it or
+  // the build falls back to the complete graph; either way every consecutive
+  // pair must be connected (they are Delaunay neighbors of the jittered set).
+  for (int i = 0; i + 1 < 8; ++i) EXPECT_TRUE(dt.has_edge(i, i + 1));
+}
+
+TEST(Delaunay, CoincidentPointsSurvive) {
+  std::vector<Vec> pts = random_points(10, 2, 5);
+  pts.push_back(pts[0]);  // exact duplicate
+  pts.push_back(pts[3]);
+  const DelaunayGraph dt = delaunay_graph(pts);
+  EXPECT_EQ(static_cast<int>(dt.nbrs.size()), 12);
+  // Duplicates must be adjacent to their twin (nearest neighbor is always a
+  // DT neighbor).
+  EXPECT_TRUE(dt.has_edge(0, 10));
+  EXPECT_TRUE(dt.has_edge(3, 11));
+}
+
+TEST(Delaunay, DeterministicAcrossRuns) {
+  const auto pts = random_points(30, 3, 42);
+  const DelaunayGraph a = delaunay_graph(pts);
+  const DelaunayGraph b = delaunay_graph(pts);
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(Delaunay, NearestNeighborIsAlwaysDTNeighbor) {
+  // Classic property: each point's nearest neighbor is a Delaunay neighbor.
+  for (int dim = 2; dim <= 4; ++dim) {
+    const auto pts = random_points(40, dim, 700u + static_cast<std::uint64_t>(dim));
+    const DelaunayGraph dt = delaunay_graph(pts);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      int nn = -1;
+      double best = 1e300;
+      for (std::size_t j = 0; j < pts.size(); ++j) {
+        if (i == j) continue;
+        const double d = pts[i].distance2(pts[j]);
+        if (d < best) {
+          best = d;
+          nn = static_cast<int>(j);
+        }
+      }
+      EXPECT_TRUE(dt.has_edge(static_cast<int>(i), nn)) << "dim=" << dim << " i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gdvr::geom

@@ -1,0 +1,159 @@
+// Tests for the graph substrate: adjacency, Dijkstra, BFS, components.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace gdvr::graph {
+namespace {
+
+Graph line_graph(int n, double cost = 1.0) {
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.add_bidirectional(i, i + 1, cost, cost);
+  return g;
+}
+
+Graph random_graph(int n, double p, std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g(n);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (rng.bernoulli(p)) g.add_bidirectional(u, v, rng.uniform(0.5, 3.0), rng.uniform(0.5, 3.0));
+  return g;
+}
+
+TEST(Graph, BasicAccessors) {
+  Graph g(3);
+  g.add_bidirectional(0, 1, 2.0, 3.0);
+  EXPECT_EQ(g.size(), 3);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_DOUBLE_EQ(g.link_cost(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g.link_cost(1, 0), 3.0);  // asymmetric costs preserved
+  EXPECT_EQ(g.link_cost(2, 0), kInf);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0 / 3.0);
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(Graph, UnitCostView) {
+  Graph g(3);
+  g.add_bidirectional(0, 1, 5.0, 7.0);
+  const Graph u = g.with_unit_costs();
+  EXPECT_DOUBLE_EQ(u.link_cost(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(u.link_cost(1, 0), 1.0);
+  EXPECT_EQ(u.edge_count(), g.edge_count());
+}
+
+TEST(Graph, DijkstraLine) {
+  const Graph g = line_graph(5, 2.0);
+  const auto sp = dijkstra(g, 0);
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(sp.dist[static_cast<std::size_t>(i)], 2.0 * i);
+  const auto path = extract_path(sp, 4);
+  EXPECT_EQ(path, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Graph, DijkstraPrefersCheaperDetour) {
+  Graph g(4);
+  g.add_bidirectional(0, 1, 10.0, 10.0);
+  g.add_bidirectional(0, 2, 1.0, 1.0);
+  g.add_bidirectional(2, 3, 1.0, 1.0);
+  g.add_bidirectional(3, 1, 1.0, 1.0);
+  const auto sp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.dist[1], 3.0);
+  EXPECT_EQ(extract_path(sp, 1), (std::vector<int>{0, 2, 3, 1}));
+}
+
+TEST(Graph, DijkstraUnreachable) {
+  Graph g(3);
+  g.add_bidirectional(0, 1, 1.0, 1.0);
+  const auto sp = dijkstra(g, 0);
+  EXPECT_EQ(sp.dist[2], kInf);
+  EXPECT_TRUE(extract_path(sp, 2).empty());
+}
+
+TEST(Graph, DijkstraRespectsAsymmetry) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 0, 9.0);
+  EXPECT_DOUBLE_EQ(dijkstra(g, 0).dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(dijkstra(g, 1).dist[0], 9.0);
+}
+
+TEST(Graph, BfsHops) {
+  const Graph g = line_graph(6, 3.5);
+  const auto hops = bfs_hops(g, 2);
+  EXPECT_EQ(hops[0], 2);
+  EXPECT_EQ(hops[2], 0);
+  EXPECT_EQ(hops[5], 3);
+}
+
+TEST(Graph, BfsUnreachableIsMinusOne) {
+  Graph g(4);
+  g.add_bidirectional(0, 1, 1, 1);
+  g.add_bidirectional(2, 3, 1, 1);
+  const auto hops = bfs_hops(g, 0);
+  EXPECT_EQ(hops[1], 1);
+  EXPECT_EQ(hops[2], -1);
+}
+
+TEST(Graph, DijkstraMatchesBfsOnUnitCosts) {
+  const Graph g = random_graph(60, 0.08, 3).with_unit_costs();
+  for (int src : {0, 10, 30}) {
+    const auto sp = dijkstra(g, src);
+    const auto hops = bfs_hops(g, src);
+    for (int v = 0; v < g.size(); ++v) {
+      if (hops[static_cast<std::size_t>(v)] < 0)
+        EXPECT_EQ(sp.dist[static_cast<std::size_t>(v)], kInf);
+      else
+        EXPECT_DOUBLE_EQ(sp.dist[static_cast<std::size_t>(v)],
+                         static_cast<double>(hops[static_cast<std::size_t>(v)]));
+    }
+  }
+}
+
+TEST(Graph, DijkstraTriangleInequalityProperty) {
+  // d(s, v) <= d(s, u) + c(u, v) for every edge (u, v).
+  const Graph g = random_graph(50, 0.1, 7);
+  const auto sp = dijkstra(g, 0);
+  for (int u = 0; u < g.size(); ++u) {
+    if (sp.dist[static_cast<std::size_t>(u)] == kInf) continue;
+    for (const Edge& e : g.neighbors(u))
+      EXPECT_LE(sp.dist[static_cast<std::size_t>(e.to)],
+                sp.dist[static_cast<std::size_t>(u)] + e.cost + 1e-9);
+  }
+}
+
+TEST(Graph, LargestComponent) {
+  Graph g(7);
+  g.add_bidirectional(0, 1, 1, 1);
+  g.add_bidirectional(1, 2, 1, 1);
+  g.add_bidirectional(3, 4, 1, 1);
+  // node 5, 6 isolated
+  const auto comp = largest_component(g);
+  EXPECT_EQ(comp, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Graph, InducedSubgraph) {
+  Graph g(5);
+  g.add_bidirectional(0, 1, 1.0, 2.0);
+  g.add_bidirectional(1, 2, 3.0, 4.0);
+  g.add_bidirectional(3, 4, 9.0, 9.0);
+  std::vector<int> keep{1, 2, 3};
+  std::vector<int> old_ids;
+  const Graph sub = g.induced_subgraph(keep, &old_ids);
+  EXPECT_EQ(sub.size(), 3);
+  EXPECT_EQ(old_ids, keep);
+  EXPECT_DOUBLE_EQ(sub.link_cost(0, 1), 3.0);  // 1 -> 2 in old ids
+  EXPECT_DOUBLE_EQ(sub.link_cost(1, 0), 4.0);
+  EXPECT_FALSE(sub.has_edge(2, 0));  // 3 lost its partner 4
+}
+
+TEST(Graph, ExtractPathSourceOnly) {
+  const Graph g = line_graph(3);
+  const auto sp = dijkstra(g, 1);
+  EXPECT_EQ(extract_path(sp, 1), (std::vector<int>{1}));
+}
+
+}  // namespace
+}  // namespace gdvr::graph

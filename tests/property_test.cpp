@@ -1,0 +1,167 @@
+// Cross-module property tests: invariances and inequalities that must hold
+// for *every* seed, swept with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "eval/routing_eval.hpp"
+#include "geom/delaunay.hpp"
+#include "radio/topology.hpp"
+#include "routing/mdt_view.hpp"
+#include "routing/routers.hpp"
+
+namespace gdvr {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::vector<Vec> random_points(int n, int dim, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec> pts;
+  for (int i = 0; i < n; ++i) {
+    Vec p(dim);
+    for (int c = 0; c < dim; ++c) p[c] = rng.uniform(0.0, 100.0);
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+// --- Delaunay invariances ---------------------------------------------------
+
+TEST_P(SeedSweep, DelaunayInvariantUnderTranslationAndScaling) {
+  const auto pts = random_points(40, 2, GetParam());
+  const auto base = geom::delaunay_graph(pts).edges;
+  std::vector<Vec> moved;
+  for (const Vec& p : pts) moved.push_back(p * 3.5 + Vec{1000.0, -500.0});
+  EXPECT_EQ(geom::delaunay_graph(moved).edges, base);
+}
+
+TEST_P(SeedSweep, DelaunayDegreeSumIsTwiceEdges) {
+  const auto pts = random_points(50, 3, GetParam() + 100);
+  const auto dt = geom::delaunay_graph(pts);
+  std::size_t degree_sum = 0;
+  for (const auto& nbrs : dt.nbrs) degree_sum += nbrs.size();
+  EXPECT_EQ(degree_sum, 2 * dt.edges.size());
+  // Symmetry: u in nbrs[v] iff v in nbrs[u].
+  for (const auto& [u, v] : dt.edges) {
+    EXPECT_TRUE(dt.has_edge(u, v));
+    EXPECT_TRUE(dt.has_edge(v, u));
+  }
+}
+
+// --- router inequalities ----------------------------------------------------
+
+TEST_P(SeedSweep, GdvNeverBeatsOptimalAndMdtNeverBeatsGdvWithTies) {
+  radio::TopologyConfig tc;
+  tc.n = 80;
+  tc.seed = GetParam() + 200;
+  tc.target_avg_degree = 14.5;
+  const radio::Topology topo = radio::make_random_topology(tc);
+  const auto view = routing::centralized_mdt(topo.positions, topo.etx);
+  Rng rng(GetParam());
+  for (int i = 0; i < 60; ++i) {
+    const int s = rng.uniform_index(topo.size());
+    int t = rng.uniform_index(topo.size() - 1);
+    if (t >= s) ++t;
+    const auto gdv = routing::route_gdv(view, s, t);
+    const auto mdt = routing::route_mdt_greedy(view, s, t);
+    ASSERT_TRUE(gdv.success);
+    ASSERT_TRUE(mdt.success);
+    const auto sp = graph::dijkstra(topo.etx, s);
+    const double opt = sp.dist[static_cast<std::size_t>(t)];
+    EXPECT_GE(gdv.cost, opt - 1e-9);
+    EXPECT_GE(mdt.cost, opt - 1e-9);
+    // Path consistency: reported cost equals sum over reported path.
+    double sum = 0.0;
+    for (std::size_t k = 0; k + 1 < gdv.path.size(); ++k)
+      sum += topo.etx.link_cost(gdv.path[k], gdv.path[k + 1]);
+    EXPECT_NEAR(sum, gdv.cost, 1e-9);
+    if (!gdv.path.empty()) {
+      EXPECT_EQ(gdv.path.front(), s);
+      EXPECT_EQ(gdv.path.back(), t);
+    }
+  }
+}
+
+TEST_P(SeedSweep, RouteResultsAreDeterministic) {
+  radio::TopologyConfig tc;
+  tc.n = 60;
+  tc.seed = GetParam() + 300;
+  tc.target_avg_degree = 14.5;
+  const radio::Topology topo = radio::make_random_topology(tc);
+  const auto view = routing::centralized_mdt(topo.positions, topo.hops);
+  const auto a = routing::route_gdv(view, 0, topo.size() - 1);
+  const auto b = routing::route_gdv(view, 0, topo.size() - 1);
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.path, b.path);
+}
+
+// --- topology generator properties -------------------------------------------
+
+TEST_P(SeedSweep, MetricGraphsAgreeOnReachability) {
+  radio::TopologyConfig tc;
+  tc.n = 70;
+  tc.seed = GetParam() + 400;
+  tc.target_avg_degree = 14.5;
+  const radio::Topology topo = radio::make_random_topology(tc);
+  const auto hop_d = graph::bfs_hops(topo.hops, 0);
+  const auto etx_d = graph::dijkstra(topo.etx, 0).dist;
+  const auto ett_d = graph::dijkstra(topo.ett, 0).dist;
+  for (int v = 0; v < topo.size(); ++v) {
+    const bool reach = hop_d[static_cast<std::size_t>(v)] >= 0;
+    EXPECT_EQ(reach, etx_d[static_cast<std::size_t>(v)] < graph::kInf);
+    EXPECT_EQ(reach, ett_d[static_cast<std::size_t>(v)] < graph::kInf);
+    if (reach && v != 0) {
+      // ETX-optimal cost is at least the hop count (each link costs >= 1)...
+      EXPECT_GE(etx_d[static_cast<std::size_t>(v)],
+                static_cast<double>(hop_d[static_cast<std::size_t>(v)]) - 1e-9);
+    }
+  }
+}
+
+TEST_P(SeedSweep, EtxShortestNeverExceedsHopShortestPathEtx) {
+  // The ETX-optimal route costs at most what the hop-optimal route costs
+  // under ETX accounting (optimality of Dijkstra on the ETX graph).
+  radio::TopologyConfig tc;
+  tc.n = 70;
+  tc.seed = GetParam() + 500;
+  tc.target_avg_degree = 14.5;
+  const radio::Topology topo = radio::make_random_topology(tc);
+  const auto etx_opt = graph::dijkstra(topo.etx, 0);
+  const auto hop_sp = graph::dijkstra(topo.hops, 0);
+  for (int v = 1; v < topo.size(); ++v) {
+    const auto hop_path = graph::extract_path(hop_sp, v);
+    if (hop_path.empty()) continue;
+    double hop_path_etx = 0.0;
+    for (std::size_t i = 0; i + 1 < hop_path.size(); ++i)
+      hop_path_etx += topo.etx.link_cost(hop_path[i], hop_path[i + 1]);
+    EXPECT_LE(etx_opt.dist[static_cast<std::size_t>(v)], hop_path_etx + 1e-9);
+  }
+}
+
+// --- evaluation-harness properties -------------------------------------------
+
+TEST_P(SeedSweep, SamplePairsAreUniformish) {
+  // 100 ids, 3000 samples (well below the 9900 ordered pairs, so this
+  // genuinely samples rather than falling back to exhaustive enumeration).
+  std::vector<int> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(i);
+  const auto pairs = eval::sample_pairs(ids, 3000, GetParam() + 600);
+  ASSERT_EQ(pairs.size(), 3000u);
+  std::vector<int> source_count(100, 0);
+  for (const auto& [s, t] : pairs) {
+    ++source_count[static_cast<std::size_t>(s)];
+    EXPECT_NE(s, t);
+  }
+  for (int c : source_count) {
+    EXPECT_GT(c, 5);  // expectation 30
+    EXPECT_LT(c, 80);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+}  // namespace
+}  // namespace gdvr

@@ -1,0 +1,209 @@
+// White-box tests of the MDT protocol machinery on small hand-crafted
+// topologies: greedy forwarding, virtual-link detours, TTL, retries, and the
+// exact message mechanics of the join.
+#include <gtest/gtest.h>
+
+#include "mdt/overlay.hpp"
+#include "radio/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace gdvr::mdt {
+namespace {
+
+// A line of n nodes at unit spacing, unit link costs.
+struct Line {
+  radio::Topology topo;
+  sim::Simulator sim;
+  std::unique_ptr<Net> net;
+  std::unique_ptr<MdtOverlay> overlay;
+
+  explicit Line(int n) {
+    topo.positions.clear();
+    graph::Graph g(n);
+    for (int i = 0; i < n; ++i) topo.positions.push_back(Vec{static_cast<double>(i), 0.0});
+    for (int i = 0; i + 1 < n; ++i) g.add_bidirectional(i, i + 1, 1.0, 1.0);
+    topo.etx = g;
+    topo.hops = g.with_unit_costs();
+    net = std::make_unique<Net>(sim, topo.etx, 0.001, 0.01, 1);
+    MdtConfig mc;
+    mc.dim = 2;
+    overlay = std::make_unique<MdtOverlay>(*net, mc);
+    overlay->attach();
+  }
+
+  void start_sequential() {
+    for (int u = 0; u < net->size(); ++u)
+      overlay->activate(u, topo.positions[static_cast<std::size_t>(u)], u == 0);
+    for (int u = 1; u < net->size(); ++u) {
+      sim.schedule_at(0.1 * u, [this, u] { overlay->start_join(u); });
+    }
+    sim.run_until(10.0 + net->size());
+  }
+};
+
+TEST(ProtocolInternals, LineJoinsEndToEnd) {
+  Line line(10);
+  line.start_sequential();
+  for (int u = 0; u < 10; ++u) EXPECT_TRUE(line.overlay->joined(u)) << u;
+  // The DT of a (jittered) collinear point set must at least contain every
+  // consecutive pair; near-degenerate slivers may add a few long edges.
+  auto has = [&](int u, int v) {
+    const auto nbrs = line.overlay->dt_neighbors(u);
+    return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+  };
+  for (int i = 0; i + 1 < 10; ++i) {
+    EXPECT_TRUE(has(i, i + 1)) << i;
+    EXPECT_TRUE(has(i + 1, i)) << i;
+  }
+}
+
+TEST(ProtocolInternals, HelloAnnouncesJoinedState) {
+  Line line(4);
+  line.overlay->activate(0, line.topo.positions[0], /*first=*/true);
+  line.overlay->activate(1, line.topo.positions[1], false);
+  line.sim.run_until(1.0);
+  // Node 1 heard node 0's activation Hello (joined = true), triggered its
+  // own join through node 0, completed it, and announced -- so by now each
+  // side records the other as joined.
+  auto it = line.overlay->phys_info(1).find(0);
+  ASSERT_NE(it, line.overlay->phys_info(1).end());
+  EXPECT_TRUE(it->second.joined);
+  EXPECT_TRUE(line.overlay->joined(1));
+  auto it2 = line.overlay->phys_info(0).find(1);
+  ASSERT_NE(it2, line.overlay->phys_info(0).end());
+  EXPECT_TRUE(it2->second.joined);
+}
+
+TEST(ProtocolInternals, NeighborViewsExposeLinkCosts) {
+  Line line(5);
+  line.start_sequential();
+  bool saw1 = false, saw3 = false;
+  for (const NeighborView& v : line.overlay->neighbor_views(2)) {
+    if (v.id == 1 || v.id == 3) {
+      EXPECT_TRUE(v.is_phys);
+      EXPECT_DOUBLE_EQ(v.cost, 1.0);
+      (v.id == 1 ? saw1 : saw3) = true;
+    } else {
+      // Sliver DT edges on the near-collinear line are multi-hop neighbors
+      // with real (>= 2) path costs.
+      EXPECT_FALSE(v.is_phys);
+      EXPECT_GE(v.cost, 2.0);
+    }
+  }
+  EXPECT_TRUE(saw1);
+  EXPECT_TRUE(saw3);
+}
+
+TEST(ProtocolInternals, InactiveNodesDropProtocolMessages) {
+  Line line(4);
+  line.overlay->activate(0, line.topo.positions[0], true);
+  // Node 1 never activates. A join request sent its way must die silently
+  // (no crash, no state change) and node 0 stays the only joined node.
+  line.overlay->activate(2, line.topo.positions[2], false);
+  line.overlay->start_join(2);  // seed is node 1 or 3; both inactive/unknown
+  line.sim.run_until(5.0);
+  EXPECT_FALSE(line.overlay->joined(2));
+}
+
+TEST(ProtocolInternals, SetPositionPushesToPhysNeighbors) {
+  Line line(4);
+  line.start_sequential();
+  line.overlay->set_position(1, Vec{42.0, 7.0}, 0.25);
+  line.sim.run_until(line.sim.now() + 1.0);
+  for (int nbr : {0, 2}) {
+    auto it = line.overlay->phys_info(nbr).find(1);
+    ASSERT_NE(it, line.overlay->phys_info(nbr).end());
+    EXPECT_EQ(it->second.pos, (Vec{42.0, 7.0}));
+    EXPECT_DOUBLE_EQ(it->second.err, 0.25);
+  }
+}
+
+TEST(ProtocolInternals, DistinctNodesStoredOnLine) {
+  Line line(8);
+  line.start_sequential();
+  // Interior nodes store at least their 2 physical neighbors, plus whatever
+  // sliver DT edges the near-collinear geometry produces -- always fewer
+  // than the whole network.
+  EXPECT_GE(line.overlay->distinct_nodes_stored(4), 2);
+  EXPECT_LT(line.overlay->distinct_nodes_stored(4), 8);
+  EXPECT_GE(line.overlay->distinct_nodes_stored(0), 1);
+}
+
+TEST(ProtocolInternals, MessagesAreCountedPerHop) {
+  Line line(3);
+  const auto before = line.net->total_messages_sent();
+  line.start_sequential();
+  const auto after = line.net->total_messages_sent();
+  EXPECT_GT(after, before + 4);  // hellos + joins at minimum
+}
+
+TEST(ProtocolInternals, DeactivateIsIdempotent) {
+  Line line(5);
+  line.start_sequential();
+  line.overlay->deactivate(2);
+  line.overlay->deactivate(2);
+  EXPECT_FALSE(line.overlay->active(2));
+  // The line is now split; survivors keep running without crashing.
+  line.sim.run_until(line.sim.now() + 20.0);
+  EXPECT_TRUE(line.overlay->joined(0));
+  EXPECT_TRUE(line.overlay->joined(4));
+}
+
+TEST(ProtocolInternals, RejoinAfterFailure) {
+  Line line(5);
+  line.start_sequential();
+  line.overlay->deactivate(2);
+  line.sim.run_until(line.sim.now() + 5.0);
+  // Node 2 comes back with a fresh position and rejoins through neighbors.
+  line.net->set_alive(2, true);
+  line.overlay->activate(2, Vec{2.0, 0.1}, false);
+  line.overlay->start_join(2);
+  line.sim.run_until(line.sim.now() + 15.0);
+  EXPECT_TRUE(line.overlay->joined(2));
+}
+
+// Star topology: hub 0 at origin, leaves around it. DT neighbors of leaves
+// include other leaves (through the hub: multi-hop virtual links).
+TEST(ProtocolInternals, StarCreatesMultiHopVirtualLinks) {
+  radio::Topology topo;
+  const int leaves = 6;
+  graph::Graph g(leaves + 1);
+  topo.positions.push_back(Vec{0.0, 0.0});
+  for (int i = 0; i < leaves; ++i) {
+    const double angle = 2.0 * 3.14159265358979 * i / leaves;
+    topo.positions.push_back(Vec{std::cos(angle), std::sin(angle)});
+    g.add_bidirectional(0, i + 1, 1.0, 1.0);
+  }
+  topo.etx = g;
+  topo.hops = g.with_unit_costs();
+
+  sim::Simulator sim;
+  Net net(sim, topo.etx, 0.001, 0.01, 2);
+  MdtConfig mc;
+  mc.dim = 2;
+  MdtOverlay overlay(net, mc);
+  overlay.attach();
+  for (int u = 0; u <= leaves; ++u) overlay.activate(u, topo.positions[static_cast<std::size_t>(u)], u == 0);
+  for (int u = 1; u <= leaves; ++u) sim.schedule_at(0.1 * u, [&, u] { overlay.start_join(u); });
+  sim.run_until(15.0);
+  // Run one maintenance round to settle mutual syncs.
+  for (int u = 0; u <= leaves; ++u) overlay.run_maintenance_round(u);
+  sim.run_until(25.0);
+
+  int virtual_links = 0;
+  for (int u = 1; u <= leaves; ++u) {
+    for (const NeighborView& v : overlay.neighbor_views(u)) {
+      if (v.is_phys || !v.is_dt) continue;
+      ++virtual_links;
+      // The only physical route between leaves goes through the hub.
+      const auto& path = overlay.virtual_path(u, v.id);
+      ASSERT_EQ(path.size(), 3u);
+      EXPECT_EQ(path[1], 0);
+      EXPECT_DOUBLE_EQ(v.cost, 2.0);  // two unit links
+    }
+  }
+  EXPECT_GT(virtual_links, 0);
+}
+
+}  // namespace
+}  // namespace gdvr::mdt

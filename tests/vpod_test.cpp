@@ -1,0 +1,243 @@
+// Integration tests for VPoD: token flood, position initialization,
+// adjustment convergence, adaptive timeouts, and churn.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/embedding.hpp"
+#include "eval/protocol_runner.hpp"
+#include "eval/routing_eval.hpp"
+#include "radio/topology.hpp"
+#include "vpod/vpod.hpp"
+
+namespace gdvr::vpod {
+namespace {
+
+radio::Topology dense_topo(int n, std::uint64_t seed) {
+  radio::TopologyConfig tc;
+  tc.n = n;
+  tc.seed = seed;
+  tc.target_avg_degree = 14.5;
+  return radio::make_random_topology(tc);
+}
+
+TEST(Vpod, TokenReachesEveryoneAndAllJoin) {
+  const radio::Topology topo = dense_topo(80, 2);
+  VpodConfig vc;
+  vc.dim = 2;
+  eval::VpodRunner runner(topo, /*use_etx=*/false, vc);
+  runner.run_to_period(2);
+  for (int u = 0; u < topo.size(); ++u) {
+    EXPECT_TRUE(runner.protocol().overlay().active(u)) << u;
+    EXPECT_TRUE(runner.protocol().overlay().joined(u)) << u;
+  }
+}
+
+TEST(Vpod, StartingNodeAtOrigin) {
+  const radio::Topology topo = dense_topo(50, 3);
+  VpodConfig vc;
+  vc.dim = 3;
+  eval::VpodRunner runner(topo, false, vc);
+  runner.run_to_period(0);
+  EXPECT_EQ(runner.protocol().overlay().position(0), Vec::zero(3));
+}
+
+TEST(Vpod, PositionsLiveInConfiguredDimension) {
+  const radio::Topology topo = dense_topo(50, 4);
+  for (int dim : {2, 3, 4}) {
+    VpodConfig vc;
+    vc.dim = dim;
+    eval::VpodRunner runner(topo, false, vc);
+    runner.run_to_period(1);
+    for (int u = 0; u < topo.size(); ++u)
+      EXPECT_EQ(runner.protocol().overlay().position(u).dim(), dim);
+  }
+}
+
+TEST(Vpod, ErrorsDecreaseFromInitialOne) {
+  const radio::Topology topo = dense_topo(80, 5);
+  VpodConfig vc;
+  vc.dim = 3;
+  eval::VpodRunner runner(topo, false, vc);
+  runner.run_to_period(8);
+  double avg_err = 0.0;
+  for (int u = 0; u < topo.size(); ++u) avg_err += runner.protocol().overlay().error(u);
+  avg_err /= topo.size();
+  EXPECT_LT(avg_err, 0.5);  // started at 1.0
+}
+
+TEST(Vpod, EmbeddingQualityImproves) {
+  const radio::Topology topo = dense_topo(100, 7);
+  VpodConfig vc;
+  vc.dim = 3;
+  eval::VpodRunner runner(topo, /*use_etx=*/false, vc);
+  const analysis::Matrix costs = analysis::cost_matrix(topo.hops);
+
+  runner.run_to_period(0);
+  const auto early = analysis::embedding_quality(runner.snapshot().pos, costs);
+  runner.run_to_period(10);
+  const auto late = analysis::embedding_quality(runner.snapshot().pos, costs);
+  EXPECT_LT(late.stress, early.stress);
+  EXPECT_LT(late.global_rel_error, early.global_rel_error);
+  EXPECT_LT(late.stress, 0.5);
+}
+
+TEST(Vpod, GdvRoutingConvergesToFullDelivery) {
+  const radio::Topology topo = dense_topo(100, 8);
+  VpodConfig vc;
+  vc.dim = 3;
+  eval::VpodRunner runner(topo, /*use_etx=*/true, vc);
+  runner.run_to_period(12);
+  eval::EvalOptions opts;
+  opts.use_etx = true;
+  opts.pair_samples = 300;
+  const auto stats = eval::eval_gdv(runner.snapshot(), topo, opts);
+  EXPECT_GE(stats.success_rate, 0.99);
+  EXPECT_GE(stats.transmissions, stats.optimal_transmissions);  // sanity
+  EXPECT_LT(stats.transmissions, 2.0 * stats.optimal_transmissions);
+}
+
+TEST(Vpod, FixedTimeoutModeRuns) {
+  const radio::Topology topo = dense_topo(60, 9);
+  VpodConfig vc;
+  vc.dim = 3;
+  vc.timeout_mode = VpodConfig::TimeoutMode::kFixed;
+  vc.fixed_timeout_s = 2.0;
+  eval::VpodRunner runner(topo, false, vc);
+  runner.run_to_period(4);
+  for (int u = 0; u < topo.size(); ++u) EXPECT_TRUE(runner.protocol().overlay().joined(u));
+}
+
+TEST(Vpod, AdjustmentCountRespectsTimeout) {
+  // With a fixed timeout of 5 s and Ta = 20 s, each node runs at most
+  // ceil(20/5) = 4 adjustments per period; with 2 s, up to 10. More position
+  // updates (messages) should flow in the latter case.
+  const radio::Topology topo = dense_topo(60, 10);
+  auto run_messages = [&](double timeout) {
+    VpodConfig vc;
+    vc.dim = 2;
+    vc.timeout_mode = VpodConfig::TimeoutMode::kFixed;
+    vc.fixed_timeout_s = timeout;
+    eval::VpodRunner runner(topo, false, vc);
+    runner.run_to_period(1);
+    runner.messages_per_node_since_mark();
+    runner.run_to_period(3);
+    return runner.messages_per_node_since_mark();
+  };
+  EXPECT_GT(run_messages(2.0), 1.3 * run_messages(5.0));
+}
+
+TEST(Vpod, AdaptiveTimeoutSlowsAfterConvergence) {
+  // After convergence errors are small, so adaptive delta_u -> Ta and each
+  // node makes roughly one adjustment per period; early periods make many.
+  const radio::Topology topo = dense_topo(60, 11);
+  VpodConfig vc;
+  vc.dim = 3;
+  eval::VpodRunner runner(topo, false, vc);
+  runner.run_to_period(1);
+  runner.messages_per_node_since_mark();
+  runner.run_to_period(2);
+  const double early = runner.messages_per_node_since_mark();
+  runner.run_to_period(14);
+  runner.messages_per_node_since_mark();
+  runner.run_to_period(15);
+  const double late = runner.messages_per_node_since_mark();
+  EXPECT_LT(late, early);
+}
+
+TEST(Vpod, StorageDropsAfterConvergence) {
+  // Paper Fig. 14(a): storage starts high (DT neighbors far away in the
+  // arbitrary initial embedding) and falls once positions converge.
+  const radio::Topology topo = dense_topo(100, 12);
+  VpodConfig vc;
+  vc.dim = 3;
+  eval::VpodRunner runner(topo, false, vc);
+  runner.run_to_period(2);
+  const double early = runner.avg_storage();
+  runner.run_to_period(15);
+  const double late = runner.avg_storage();
+  EXPECT_LT(late, early);
+  EXPECT_GT(late, 14.0);  // at least the physical neighborhood
+}
+
+TEST(Vpod, ChurnRecovery) {
+  // Paper Sec. IV-H: after heavy churn, performance degrades then recovers
+  // within a few periods.
+  const radio::Topology topo = dense_topo(100, 13);
+  VpodConfig vc;
+  vc.dim = 3;
+  eval::VpodRunner runner(topo, /*use_etx=*/false, vc);
+  runner.run_to_period(8);
+
+  // Fail 30% of nodes (keep node 0), then join replacements at the same
+  // physical spots (fresh protocol state).
+  Rng rng(99);
+  std::vector<int> dead;
+  while (dead.size() < static_cast<std::size_t>(topo.size() / 3)) {
+    const int u = 1 + rng.uniform_index(topo.size() - 1);
+    if (std::find(dead.begin(), dead.end(), u) == dead.end()) dead.push_back(u);
+  }
+  for (int u : dead) runner.protocol().fail_node(u);
+  for (int u : dead) runner.protocol().join_node(u);
+
+  runner.run_to_period(16);
+  eval::EvalOptions opts;
+  opts.pair_samples = 300;
+  const auto stats = eval::eval_gdv(runner.snapshot(), topo, opts);
+  EXPECT_GE(stats.success_rate, 0.97);
+  EXPECT_LT(stats.stretch, 1.5);
+  for (int u : dead) EXPECT_TRUE(runner.protocol().overlay().joined(u)) << u;
+}
+
+TEST(Vpod, DeterministicGivenSeeds) {
+  const radio::Topology topo = dense_topo(50, 14);
+  auto run = [&] {
+    VpodConfig vc;
+    vc.dim = 2;
+    eval::VpodRunner runner(topo, false, vc);
+    runner.run_to_period(5);
+    std::vector<Vec> pos;
+    for (int u = 0; u < topo.size(); ++u) pos.push_back(runner.protocol().overlay().position(u));
+    return pos;
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Vpod, ConvergesDespiteLossyControlPlane) {
+  // Every protocol message is dropped with probability 1 - PRR of its link;
+  // retries and soft state must still converge the system.
+  const radio::Topology topo = dense_topo(80, 16);
+  VpodConfig vc;
+  vc.dim = 3;
+  eval::VpodRunner runner(topo, /*use_etx=*/true, vc);
+  runner.enable_control_loss();
+  runner.run_to_period(12);
+  EXPECT_GT(runner.net().messages_lost(), 0u);
+  eval::EvalOptions opts;
+  opts.use_etx = true;
+  opts.pair_samples = 200;
+  const auto stats = eval::eval_gdv(runner.snapshot(), topo, opts);
+  EXPECT_GE(stats.success_rate, 0.95);
+  EXPECT_LT(stats.transmissions, 1.8 * stats.optimal_transmissions);
+}
+
+TEST(Vpod, HopAndEtxMetricsBothEmbed) {
+  const radio::Topology topo = dense_topo(80, 15);
+  for (bool use_etx : {false, true}) {
+    VpodConfig vc;
+    vc.dim = 3;
+    eval::VpodRunner runner(topo, use_etx, vc);
+    runner.run_to_period(10);
+    eval::EvalOptions opts;
+    opts.use_etx = use_etx;
+    opts.pair_samples = 200;
+    const auto stats = eval::eval_gdv(runner.snapshot(), topo, opts);
+    EXPECT_GE(stats.success_rate, 0.98) << "use_etx=" << use_etx;
+  }
+}
+
+}  // namespace
+}  // namespace gdvr::vpod
