@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dv_vs_gdv.dir/ablation_dv_vs_gdv.cpp.o"
+  "CMakeFiles/ablation_dv_vs_gdv.dir/ablation_dv_vs_gdv.cpp.o.d"
+  "ablation_dv_vs_gdv"
+  "ablation_dv_vs_gdv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dv_vs_gdv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_dv_vs_gdv.
+# This may be replaced when dependencies are built.

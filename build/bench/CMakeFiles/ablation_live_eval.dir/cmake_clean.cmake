@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_live_eval.dir/ablation_live_eval.cpp.o"
+  "CMakeFiles/ablation_live_eval.dir/ablation_live_eval.cpp.o.d"
+  "ablation_live_eval"
+  "ablation_live_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_live_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_location_error.dir/ablation_location_error.cpp.o"
+  "CMakeFiles/ablation_location_error.dir/ablation_location_error.cpp.o.d"
+  "ablation_location_error"
+  "ablation_location_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_location_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

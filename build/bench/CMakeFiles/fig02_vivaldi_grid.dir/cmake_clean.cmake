@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_vivaldi_grid.dir/fig02_vivaldi_grid.cpp.o"
+  "CMakeFiles/fig02_vivaldi_grid.dir/fig02_vivaldi_grid.cpp.o.d"
+  "fig02_vivaldi_grid"
+  "fig02_vivaldi_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_vivaldi_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_graphs.dir/fig03_graphs.cpp.o"
+  "CMakeFiles/fig03_graphs.dir/fig03_graphs.cpp.o.d"
+  "fig03_graphs"
+  "fig03_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_vpod_grid.dir/fig05_vpod_grid.cpp.o"
+  "CMakeFiles/fig05_vpod_grid.dir/fig05_vpod_grid.cpp.o.d"
+  "fig05_vpod_grid"
+  "fig05_vpod_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_vpod_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

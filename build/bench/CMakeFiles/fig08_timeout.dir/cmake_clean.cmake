@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_timeout.dir/fig08_timeout.cpp.o"
+  "CMakeFiles/fig08_timeout.dir/fig08_timeout.cpp.o.d"
+  "fig08_timeout"
+  "fig08_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

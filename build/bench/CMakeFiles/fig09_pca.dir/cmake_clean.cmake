@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_pca.dir/fig09_pca.cpp.o"
+  "CMakeFiles/fig09_pca.dir/fig09_pca.cpp.o.d"
+  "fig09_pca"
+  "fig09_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

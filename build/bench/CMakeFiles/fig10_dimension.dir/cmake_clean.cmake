@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dimension.dir/fig10_dimension.cpp.o"
+  "CMakeFiles/fig10_dimension.dir/fig10_dimension.cpp.o.d"
+  "fig10_dimension"
+  "fig10_dimension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dimension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cc.dir/fig11_cc.cpp.o"
+  "CMakeFiles/fig11_cc.dir/fig11_cc.cpp.o.d"
+  "fig11_cc"
+  "fig11_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_obstacles4.dir/fig12_obstacles4.cpp.o"
+  "CMakeFiles/fig12_obstacles4.dir/fig12_obstacles4.cpp.o.d"
+  "fig12_obstacles4"
+  "fig12_obstacles4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_obstacles4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_costs.dir/fig14_costs.cpp.o"
+  "CMakeFiles/fig14_costs.dir/fig14_costs.cpp.o.d"
+  "fig14_costs"
+  "fig14_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

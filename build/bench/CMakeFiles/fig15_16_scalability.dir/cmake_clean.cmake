@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_16_scalability.dir/fig15_16_scalability.cpp.o"
+  "CMakeFiles/fig15_16_scalability.dir/fig15_16_scalability.cpp.o.d"
+  "fig15_16_scalability"
+  "fig15_16_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_16_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_churn.dir/fig17_churn.cpp.o"
+  "CMakeFiles/fig17_churn.dir/fig17_churn.cpp.o.d"
+  "fig17_churn"
+  "fig17_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

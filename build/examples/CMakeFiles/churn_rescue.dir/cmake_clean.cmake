@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_rescue.dir/churn_rescue.cpp.o"
+  "CMakeFiles/churn_rescue.dir/churn_rescue.cpp.o.d"
+  "churn_rescue"
+  "churn_rescue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_rescue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdv_sim.dir/gdv_sim.cpp.o"
+  "CMakeFiles/gdv_sim.dir/gdv_sim.cpp.o.d"
+  "gdv_sim"
+  "gdv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

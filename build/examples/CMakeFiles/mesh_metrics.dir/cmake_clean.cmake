@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_metrics.dir/mesh_metrics.cpp.o"
+  "CMakeFiles/mesh_metrics.dir/mesh_metrics.cpp.o.d"
+  "mesh_metrics"
+  "mesh_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

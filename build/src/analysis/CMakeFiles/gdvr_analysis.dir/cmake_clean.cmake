@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdvr_analysis.dir/embedding.cpp.o"
+  "CMakeFiles/gdvr_analysis.dir/embedding.cpp.o.d"
+  "CMakeFiles/gdvr_analysis.dir/svd.cpp.o"
+  "CMakeFiles/gdvr_analysis.dir/svd.cpp.o.d"
+  "libgdvr_analysis.a"
+  "libgdvr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdvr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

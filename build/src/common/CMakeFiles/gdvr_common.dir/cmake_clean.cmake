@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdvr_common.dir/log.cpp.o"
+  "CMakeFiles/gdvr_common.dir/log.cpp.o.d"
+  "CMakeFiles/gdvr_common.dir/vec.cpp.o"
+  "CMakeFiles/gdvr_common.dir/vec.cpp.o.d"
+  "libgdvr_common.a"
+  "libgdvr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdvr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdvr_eval.dir/protocol_runner.cpp.o"
+  "CMakeFiles/gdvr_eval.dir/protocol_runner.cpp.o.d"
+  "CMakeFiles/gdvr_eval.dir/routing_eval.cpp.o"
+  "CMakeFiles/gdvr_eval.dir/routing_eval.cpp.o.d"
+  "libgdvr_eval.a"
+  "libgdvr_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdvr_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

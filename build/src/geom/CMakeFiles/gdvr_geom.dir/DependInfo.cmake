@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/brute_force.cpp" "src/geom/CMakeFiles/gdvr_geom.dir/brute_force.cpp.o" "gcc" "src/geom/CMakeFiles/gdvr_geom.dir/brute_force.cpp.o.d"
+  "/root/repo/src/geom/delaunay.cpp" "src/geom/CMakeFiles/gdvr_geom.dir/delaunay.cpp.o" "gcc" "src/geom/CMakeFiles/gdvr_geom.dir/delaunay.cpp.o.d"
+  "/root/repo/src/geom/predicates.cpp" "src/geom/CMakeFiles/gdvr_geom.dir/predicates.cpp.o" "gcc" "src/geom/CMakeFiles/gdvr_geom.dir/predicates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gdvr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdvr_geom.dir/brute_force.cpp.o"
+  "CMakeFiles/gdvr_geom.dir/brute_force.cpp.o.d"
+  "CMakeFiles/gdvr_geom.dir/delaunay.cpp.o"
+  "CMakeFiles/gdvr_geom.dir/delaunay.cpp.o.d"
+  "CMakeFiles/gdvr_geom.dir/predicates.cpp.o"
+  "CMakeFiles/gdvr_geom.dir/predicates.cpp.o.d"
+  "libgdvr_geom.a"
+  "libgdvr_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdvr_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdvr_graph.dir/graph.cpp.o"
+  "CMakeFiles/gdvr_graph.dir/graph.cpp.o.d"
+  "libgdvr_graph.a"
+  "libgdvr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdvr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgdvr_graph.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdvr_mdt.dir/overlay.cpp.o"
+  "CMakeFiles/gdvr_mdt.dir/overlay.cpp.o.d"
+  "libgdvr_mdt.a"
+  "libgdvr_mdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdvr_mdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdvr_radio.dir/topology.cpp.o"
+  "CMakeFiles/gdvr_radio.dir/topology.cpp.o.d"
+  "libgdvr_radio.a"
+  "libgdvr_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdvr_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

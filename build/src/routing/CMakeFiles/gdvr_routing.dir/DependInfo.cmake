@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/distance_vector.cpp" "src/routing/CMakeFiles/gdvr_routing.dir/distance_vector.cpp.o" "gcc" "src/routing/CMakeFiles/gdvr_routing.dir/distance_vector.cpp.o.d"
+  "/root/repo/src/routing/mdt_view.cpp" "src/routing/CMakeFiles/gdvr_routing.dir/mdt_view.cpp.o" "gcc" "src/routing/CMakeFiles/gdvr_routing.dir/mdt_view.cpp.o.d"
+  "/root/repo/src/routing/planar.cpp" "src/routing/CMakeFiles/gdvr_routing.dir/planar.cpp.o" "gcc" "src/routing/CMakeFiles/gdvr_routing.dir/planar.cpp.o.d"
+  "/root/repo/src/routing/routers.cpp" "src/routing/CMakeFiles/gdvr_routing.dir/routers.cpp.o" "gcc" "src/routing/CMakeFiles/gdvr_routing.dir/routers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mdt/CMakeFiles/gdvr_mdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/gdvr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gdvr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gdvr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

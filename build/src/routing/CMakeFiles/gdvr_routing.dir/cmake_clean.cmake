@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdvr_routing.dir/distance_vector.cpp.o"
+  "CMakeFiles/gdvr_routing.dir/distance_vector.cpp.o.d"
+  "CMakeFiles/gdvr_routing.dir/mdt_view.cpp.o"
+  "CMakeFiles/gdvr_routing.dir/mdt_view.cpp.o.d"
+  "CMakeFiles/gdvr_routing.dir/planar.cpp.o"
+  "CMakeFiles/gdvr_routing.dir/planar.cpp.o.d"
+  "CMakeFiles/gdvr_routing.dir/routers.cpp.o"
+  "CMakeFiles/gdvr_routing.dir/routers.cpp.o.d"
+  "libgdvr_routing.a"
+  "libgdvr_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdvr_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

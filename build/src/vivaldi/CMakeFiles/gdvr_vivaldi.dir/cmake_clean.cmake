@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdvr_vivaldi.dir/vivaldi.cpp.o"
+  "CMakeFiles/gdvr_vivaldi.dir/vivaldi.cpp.o.d"
+  "libgdvr_vivaldi.a"
+  "libgdvr_vivaldi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdvr_vivaldi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdvr_vpod.dir/live_gdv.cpp.o"
+  "CMakeFiles/gdvr_vpod.dir/live_gdv.cpp.o.d"
+  "CMakeFiles/gdvr_vpod.dir/vpod.cpp.o"
+  "CMakeFiles/gdvr_vpod.dir/vpod.cpp.o.d"
+  "libgdvr_vpod.a"
+  "libgdvr_vpod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdvr_vpod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gdvr_vpod.
+# This may be replaced when dependencies are built.

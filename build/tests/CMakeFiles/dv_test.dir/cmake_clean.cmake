@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_test.dir/dv_test.cpp.o"
+  "CMakeFiles/dv_test.dir/dv_test.cpp.o.d"
+  "dv_test"
+  "dv_test.pdb"
+  "dv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/live_gdv_test.cpp" "tests/CMakeFiles/live_gdv_test.dir/live_gdv_test.cpp.o" "gcc" "tests/CMakeFiles/live_gdv_test.dir/live_gdv_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/gdvr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/gdvr_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/gdvr_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/vpod/CMakeFiles/gdvr_vpod.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdt/CMakeFiles/gdvr_mdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/gdvr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/vivaldi/CMakeFiles/gdvr_vivaldi.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gdvr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gdvr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gdvr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

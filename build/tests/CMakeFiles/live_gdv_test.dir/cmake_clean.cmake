@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_gdv_test.dir/live_gdv_test.cpp.o"
+  "CMakeFiles/live_gdv_test.dir/live_gdv_test.cpp.o.d"
+  "live_gdv_test"
+  "live_gdv_test.pdb"
+  "live_gdv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_gdv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

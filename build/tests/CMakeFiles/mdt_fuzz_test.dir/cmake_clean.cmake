@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdt_fuzz_test.dir/mdt_fuzz_test.cpp.o"
+  "CMakeFiles/mdt_fuzz_test.dir/mdt_fuzz_test.cpp.o.d"
+  "mdt_fuzz_test"
+  "mdt_fuzz_test.pdb"
+  "mdt_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdt_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

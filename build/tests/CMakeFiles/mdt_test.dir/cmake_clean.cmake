@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdt_test.dir/mdt_test.cpp.o"
+  "CMakeFiles/mdt_test.dir/mdt_test.cpp.o.d"
+  "mdt_test"
+  "mdt_test.pdb"
+  "mdt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

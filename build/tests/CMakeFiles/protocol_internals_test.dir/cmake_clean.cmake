@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_internals_test.dir/protocol_internals_test.cpp.o"
+  "CMakeFiles/protocol_internals_test.dir/protocol_internals_test.cpp.o.d"
+  "protocol_internals_test"
+  "protocol_internals_test.pdb"
+  "protocol_internals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpod_test.dir/vpod_test.cpp.o"
+  "CMakeFiles/vpod_test.dir/vpod_test.cpp.o.d"
+  "vpod_test"
+  "vpod_test.pdb"
+  "vpod_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
