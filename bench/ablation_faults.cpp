@@ -1,0 +1,169 @@
+// Ablation: fault-intensity sweep, with and without the reliable control
+// transport.
+//
+// A converged VPoD/MDT system is hit with a fault storm whose intensity
+// scales from "calm" to "severe": sustained control-plane loss, node
+// crash/recover cycles, link flaps, duplication bursts, delay spikes, and a
+// transient partition at the top intensities. Each cell runs the identical
+// seed-deterministic schedule twice -- once with the MDT join/neighbor-set
+// exchange riding the per-hop ACK/retransmit transport (sim/reliable.hpp),
+// once on raw best-effort delivery -- and reports the joined fraction and
+// routing success deep into the storm, the per-node count of neighbor-set
+// sync rounds abandoned after exhausting retries (the exact failure the
+// transport exists to prevent), and routing success / DT accuracy after a
+// calm re-convergence tail.
+#include "common.hpp"
+
+#include "eval/invariants.hpp"
+#include "sim/faults.hpp"
+
+using namespace gdvr;
+using namespace gdvr::bench;
+
+namespace {
+
+struct Cell {
+  double joined_mid = 0.0;      // fraction of nodes joined deep into the storm
+  double success_mid = 0.0;     // routing success among them, deep into the storm
+  double sync_failures = 0.0;   // neighbor-set sync rounds abandoned after
+                                // exhausting retries, per node, over the
+                                // storm + recovery window
+  double success_late = 0.0;    // after the recovery tail
+  double dt_late = 0.0;         // DT-neighbor accuracy after the recovery tail
+  double retransmissions = 0.0; // per reliable send (0 when transport is off)
+};
+
+struct Intensity {
+  const char* name;
+  double loss;        // sustained control-loss probability during the storm
+  int crash_cycles;
+  int link_flaps;
+  int partitions;
+};
+
+Cell run_cell(const radio::Topology& topo, const Intensity& in, bool reliable, int pairs) {
+  vpod::VpodConfig vc = paper_vpod(3);
+  eval::VpodRunner runner(topo, /*use_etx=*/true, vc);
+  if (reliable) runner.enable_reliable_sync();
+  runner.run_to_period(6);  // converge fault-free
+
+  const sim::Time t0 = runner.simulator().now() + 1.0;
+  const double storm_s = 50.0;
+  sim::ChaosConfig cfg;
+  cfg.t_begin = t0;
+  cfg.t_end = t0 + storm_s;
+  cfg.crash_cycles = in.crash_cycles;
+  cfg.crash_downtime_s = 6.0;
+  cfg.link_flaps = in.link_flaps;
+  cfg.loss_bursts = 0;  // loss is the sweep variable: one full-window burst
+  cfg.dup_bursts = in.crash_cycles > 0 ? 1 : 0;
+  cfg.delay_spikes = in.crash_cycles > 0 ? 1 : 0;
+  cfg.partitions = in.partitions;
+  cfg.partition_s = 10.0;
+  sim::FaultSchedule schedule = sim::FaultSchedule::random_chaos(
+      cfg, /*seed=*/7321, topo.size(), runner.physical_edges());
+  if (in.loss > 0.0) {
+    sim::FaultSchedule sustained;
+    sustained.loss_burst(t0, storm_s, in.loss);
+    schedule.merge(sustained);
+  }
+  if (!schedule.empty()) runner.faults().install(schedule);
+
+  eval::InvariantOptions iopts;
+  iopts.pair_samples = pairs;
+  iopts.seed = 17;
+  const std::uint64_t failures_before = runner.protocol().overlay().sync_stats().failures;
+
+  // Deep into the storm: the last crash victims have had their recovery, and
+  // every join / neighbor-set exchange since has run under sustained loss.
+  // This is where per-hop retransmission earns its keep -- without it, lost
+  // join replies stall rejoins until coarse protocol retries, and
+  // neighbor-set exchanges exhaust their retry budget without ever
+  // completing. (Routing success is evaluated among the joined nodes, so a
+  // stalled rejoin shows up in the joined fraction, not in success.)
+  runner.simulator().run_until(t0 + 0.8 * storm_s);
+  const eval::InvariantReport mid = audit_invariants(runner, iopts);
+  // Recovery tail: several calm periods of joins + maintenance after quiesce.
+  runner.run_to_period(12);
+  const eval::InvariantReport late = audit_invariants(runner, iopts);
+  const std::uint64_t failures_after = runner.protocol().overlay().sync_stats().failures;
+
+  const double n = static_cast<double>(topo.size());
+  Cell c;
+  c.joined_mid = static_cast<double>(mid.joined_nodes) / n;
+  c.success_mid = mid.routing_success;
+  c.sync_failures = static_cast<double>(failures_after - failures_before) / n;
+  c.success_late = late.routing_success;
+  c.dt_late = late.dt_accuracy;
+  if (reliable && runner.reliable() != nullptr && runner.reliable()->stats().sent > 0) {
+    c.retransmissions = static_cast<double>(runner.reliable()->stats().retransmissions) /
+                        static_cast<double>(runner.reliable()->stats().sent);
+  }
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  const int pairs = full ? 600 : 250;
+  const int n = full ? 200 : 120;
+  const radio::Topology topo = paper_topology(n, 4242);
+  std::printf("Fault-intensity ablation | N=%d, ETX metric, 3D%s\n", topo.size(),
+              full ? " [full]" : " [quick]");
+  std::printf("storm: 50 s of sustained control loss + crash cycles + link flaps\n"
+              "(+ duplication, delay spikes, and a partition at higher intensities),\n"
+              "identical seeded schedule with the reliable transport on vs off.\n");
+
+  const Intensity levels[] = {
+      {"none", 0.00, 0, 0, 0},
+      {"mild", 0.15, 2, 3, 0},
+      {"moderate", 0.30, 4, 6, 1},
+      {"severe", 0.60, 6, 10, 1},
+  };
+
+  std::vector<double> xs;
+  Series joined_mid_off{"unreliable", {}}, joined_mid_on{"reliable", {}};
+  Series succ_mid_off{"unreliable", {}}, succ_mid_on{"reliable", {}};
+  Series fail_off{"unreliable", {}}, fail_on{"reliable", {}};
+  Series succ_late_off{"unreliable", {}}, succ_late_on{"reliable", {}};
+  Series retx{"retx per send", {}};
+  int idx = 0;
+  for (const Intensity& in : levels) {
+    const Cell off = run_cell(topo, in, /*reliable=*/false, pairs);
+    const Cell on = run_cell(topo, in, /*reliable=*/true, pairs);
+    xs.push_back(idx++);
+    joined_mid_off.values.push_back(off.joined_mid);
+    joined_mid_on.values.push_back(on.joined_mid);
+    succ_mid_off.values.push_back(off.success_mid);
+    succ_mid_on.values.push_back(on.success_mid);
+    fail_off.values.push_back(off.sync_failures);
+    fail_on.values.push_back(on.sync_failures);
+    succ_late_off.values.push_back(off.success_late);
+    succ_late_on.values.push_back(on.success_late);
+    retx.values.push_back(on.retransmissions);
+    std::printf("[%-8s] mid-storm joined %.3f -> %.3f | sync failures/node %.2f -> %.2f | "
+                "mid-storm success %.3f -> %.3f | late success %.3f -> %.3f "
+                "(unreliable -> reliable)\n",
+                in.name, off.joined_mid, on.joined_mid, off.sync_failures, on.sync_failures,
+                off.success_mid, on.success_mid, off.success_late, on.success_late);
+  }
+
+  print_table("fraction of nodes joined deep into the storm (x = intensity level)", "intensity",
+              xs, {joined_mid_off, joined_mid_on});
+  print_table("neighbor-set sync rounds abandoned after exhausting retries, per node", "intensity",
+              xs, {fail_off, fail_on});
+  print_table("routing success deep into the storm", "intensity", xs, {succ_mid_off, succ_mid_on});
+  print_table("routing success after calm re-convergence", "intensity", xs,
+              {succ_late_off, succ_late_on});
+  print_table("reliable-transport retransmissions per send", "intensity", xs, {retx});
+  std::printf("\nexpected shape: both configurations recover after the storm (soft\n"
+              "state repairs at maintenance timescales), but while faults are live\n"
+              "the unreliable control plane falls behind as intensity grows:\n"
+              "crash victims stall mid-rejoin on lost join replies (joined\n"
+              "fraction), and neighbor-set exchanges exhaust their retry budget\n"
+              "without completing (sync failures) -- while per-hop\n"
+              "retransmission keeps sync failures near zero at the price of\n"
+              "retransmissions rising with intensity.\n");
+  return 0;
+}

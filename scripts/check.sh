@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Full local gate: fast tier-1 tests first, then the chaos suite, then an
+# ASan/UBSan pass over the whole test suite in separate build trees.
+#
+#   scripts/check.sh            # tier-1 + chaos + both sanitizers
+#   scripts/check.sh --quick    # tier-1 only (what CI runs on every push)
+#
+# Build directories: build/ (plain), build-asan/, build-ubsan/. They are
+# created on demand and reused across runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+configure_and_build() {
+  local dir="$1"; shift
+  cmake -S . -B "$dir" -DGDVR_WERROR=ON "$@" >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+}
+
+echo "== tier-1 (plain build) =="
+configure_and_build build
+# Everything except the chaos label: the fast suite that must always pass.
+ctest --test-dir build -LE chaos --output-on-failure -j "$JOBS"
+
+if [[ "$QUICK" == 1 ]]; then
+  echo "quick mode: skipping chaos + sanitizer passes"
+  exit 0
+fi
+
+echo "== chaos suite (plain build) =="
+ctest --test-dir build -L chaos --output-on-failure
+
+for san in address undefined; do
+  dir="build-${san:0:1}san"
+  [[ "$san" == address ]] && dir=build-asan || dir=build-ubsan
+  echo "== tier-1 under ${san} sanitizer (${dir}) =="
+  configure_and_build "$dir" -DGDVR_SANITIZE="$san"
+  ctest --test-dir "$dir" -LE chaos --output-on-failure -j "$JOBS"
+done
+
+echo "all checks passed"

@@ -1,0 +1,83 @@
+// Invariant-checking harness for fault runs (chaos testing).
+//
+// While faults are being injected -- and especially after they cease -- the
+// distributed MDT/VPoD state must hold three properties the routing layer
+// depends on:
+//
+//  1. DT-neighbor accuracy: the distributed neighbor sets agree with the
+//     centralized Delaunay triangulation of the *current* virtual positions
+//     of alive, joined nodes (the structure that gives MDT-greedy its
+//     delivery guarantee);
+//  2. virtual-link liveness: every stored virtual-link path is composed of
+//     alive nodes and usable physical links (stale paths through crashed
+//     nodes or partitioned links mean undeliverable control traffic);
+//  3. routing health: GDV over the current snapshot still delivers, with
+//     bounded stretch / transmissions.
+//
+// `audit_invariants` computes one report; `InvariantAuditor` samples reports
+// periodically on the simulator clock, building the time series the chaos
+// test and bench/ablation_faults assert on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "radio/topology.hpp"
+#include "sim/simulator.hpp"
+#include "vpod/vpod.hpp"
+
+namespace gdvr::eval {
+
+struct InvariantReport {
+  sim::Time at = 0.0;
+  int alive_nodes = 0;
+  int joined_nodes = 0;       // alive nodes that completed their MDT join
+  // Fraction of centralized-DT adjacencies present in the distributed
+  // neighbor sets (recall, over alive joined nodes). 1.0 when fewer than two
+  // nodes qualify.
+  double dt_accuracy = 1.0;
+  // Fraction of stored multi-hop virtual-link paths whose every relay is
+  // alive and every consecutive hop a usable physical link.
+  double link_liveness = 1.0;
+  int virtual_links = 0;      // paths inspected for link_liveness
+  // GDV routing over the snapshot, sources/destinations restricted to the
+  // largest alive component.
+  double routing_success = 0.0;
+  double stretch = 0.0;          // hop metric runs
+  double transmissions = 0.0;    // ETX metric runs
+};
+
+struct InvariantOptions {
+  int pair_samples = 200;  // <= 0: exhaustive
+  std::uint64_t seed = 1;
+};
+
+class VpodRunner;
+
+// One audit of the runner's current protocol state.
+InvariantReport audit_invariants(const VpodRunner& runner, const InvariantOptions& opts = {});
+
+// Periodic audits on the simulation clock. Reports accumulate in history();
+// worst-case accessors summarize a whole fault run.
+class InvariantAuditor {
+ public:
+  InvariantAuditor(VpodRunner& runner, const InvariantOptions& opts = {});
+
+  // Audits every `period_s` seconds from now until `until` (inclusive of the
+  // first sample at now + period_s).
+  void start(double period_s, sim::Time until);
+  // One immediate audit appended to the history.
+  const InvariantReport& audit_now();
+
+  const std::vector<InvariantReport>& history() const { return history_; }
+  double min_dt_accuracy() const;
+  double min_link_liveness() const;
+  double min_routing_success() const;
+
+ private:
+  VpodRunner& runner_;
+  InvariantOptions opts_;
+  std::vector<InvariantReport> history_;
+};
+
+}  // namespace gdvr::eval

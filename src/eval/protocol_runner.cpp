@@ -28,6 +28,41 @@ void VpodRunner::run_to_period(int k) {
   sim_.run_until(boundary);
 }
 
+void VpodRunner::enable_reliable_sync(const sim::ReliableConfig& config) {
+  if (reliable_) return;
+  reliable_ = std::make_unique<sim::ReliableTransport<mdt::Envelope>>(
+      *net_, config, [](int from, int to, std::uint64_t seq) { return mdt::make_ack(from, to, seq); });
+  vpod_->overlay().use_reliable_transport(reliable_.get());
+}
+
+std::vector<std::pair<int, int>> VpodRunner::physical_edges() const {
+  const graph::Graph& g = topo_.metric_graph(metric_);
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 0; u < g.size(); ++u)
+    for (const graph::Edge& e : g.neighbors(u))
+      if (u < e.to) edges.emplace_back(u, e.to);
+  return edges;
+}
+
+sim::FaultActions VpodRunner::fault_actions() {
+  sim::FaultActions a;
+  a.crash = [this](int u) { vpod_->fail_node(u); };
+  a.recover = [this](int u) { vpod_->join_node(u); };
+  a.set_link_up = [this](int u, int v, bool up) { net_->set_link_up(u, v, up); };
+  a.set_loss = [this](double p) { net_->set_fault_loss(p); };
+  a.set_duplication = [this](double p) { net_->set_duplication(p); };
+  a.set_delay_factor = [this](double f) { net_->set_delay_factor(f); };
+  a.node_count = [this] { return net_->size(); };
+  a.edges = [this] { return physical_edges(); };
+  a.is_alive = [this](int u) { return net_->alive(u); };
+  return a;
+}
+
+sim::FaultInjector& VpodRunner::faults() {
+  if (!faults_) faults_ = std::make_unique<sim::FaultInjector>(sim_, fault_actions());
+  return *faults_;
+}
+
 routing::MdtView VpodRunner::snapshot() const {
   return routing::snapshot_overlay(vpod_->overlay(), topo_.metric_graph(metric_));
 }

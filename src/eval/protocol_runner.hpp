@@ -8,6 +8,8 @@
 #include "eval/routing_eval.hpp"
 #include "radio/topology.hpp"
 #include "routing/mdt_view.hpp"
+#include "sim/faults.hpp"
+#include "sim/reliable.hpp"
 #include "sim/simulator.hpp"
 #include "vivaldi/vivaldi.hpp"
 #include "vpod/vpod.hpp"
@@ -45,8 +47,24 @@ class VpodRunner {
   // is dropped with probability 1 - PRR(u, v). Call before run_to_period.
   void enable_control_loss() { net_->set_loss_from_etx(topo_.etx); }
 
+  // Opts the MDT join / neighbor-set exchange into per-hop ACK + retransmit
+  // delivery (sim/reliable.hpp), so a lossy or fault-injected control plane
+  // degrades the protocol gracefully instead of stalling it.
+  void enable_reliable_sync(const sim::ReliableConfig& config = {});
+  const sim::ReliableTransport<mdt::Envelope>* reliable() const { return reliable_.get(); }
+
+  // Fault injection (sim/faults.hpp): crash/recover are bound to the
+  // protocol lifecycle (fail_node / join_node), link and loss knobs to the
+  // NetSim. Install any FaultSchedule before or between run_to_period calls.
+  sim::FaultActions fault_actions();
+  sim::FaultInjector& faults();
+  // Undirected physical edges (u < v) of the topology, as FaultActions use.
+  std::vector<std::pair<int, int>> physical_edges() const;
+
   vpod::Vpod& protocol() { return *vpod_; }
+  const vpod::Vpod& protocol() const { return *vpod_; }
   mdt::Net& net() { return *net_; }
+  const mdt::Net& net() const { return *net_; }
   sim::Simulator& simulator() { return sim_; }
   const radio::Topology& topology() const { return topo_; }
   radio::Metric metric() const { return metric_; }
@@ -65,6 +83,8 @@ class VpodRunner {
   sim::Simulator sim_;
   std::unique_ptr<mdt::Net> net_;
   std::unique_ptr<vpod::Vpod> vpod_;
+  std::unique_ptr<sim::ReliableTransport<mdt::Envelope>> reliable_;
+  std::unique_ptr<sim::FaultInjector> faults_;
   double period_len_;
   double start_offset_;
   std::uint64_t msg_mark_ = 0;

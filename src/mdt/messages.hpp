@@ -6,6 +6,7 @@
 // which fields it uses.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/vec.hpp"
@@ -23,6 +24,13 @@ struct NodeInfo {
   Vec pos;
   double err = 1.0;
   bool joined = false;
+  // Monotone per-node position version, bumped on every adjustment (and
+  // preserved across reboots). Position state reaches a node over many
+  // channels -- direct updates, hellos, replies, second-hand gossip in
+  // neighbor-set exchanges -- with different latencies and loss rates; the
+  // version decides which copy is freshest, so a lossy direct channel can be
+  // repaired by gossip without stale gossip ever clobbering fresher state.
+  std::uint64_t pos_version = 0;
 };
 
 enum class Kind {
@@ -38,8 +46,10 @@ enum class Kind {
   // target (joiner), origin_info, nbr_infos, route/route_idx, accum_cost.
   kJoinReply,
   // Neighbor-set request to a specific node (greedy toward target_pos with
-  // virtual-link detours). Uses: origin, target, target_pos, origin_info,
-  // visited, route/route_idx/detour, accum_cost, ttl.
+  // virtual-link detours). The exchange is mutual: the request carries the
+  // origin's neighbor set (nbr_infos) so the replier learns from it too.
+  // Uses: origin, target, target_pos, origin_info, nbr_infos, visited,
+  // route/route_idx/detour, accum_cost, ttl.
   kNbrSetRequest,
   // Uses: origin (replier), target, origin_info, nbr_infos, fwd_cost,
   // route/route_idx, accum_cost.
@@ -52,6 +62,10 @@ enum class Kind {
   // Uses: origin, target, target_pos, token (packet id), accum_cost (forward
   // metric cost), ttl, route/route_idx/detour (virtual-link traversal).
   kData,
+  // Per-hop acknowledgment of a reliably sent control message (see
+  // sim/reliable.hpp). Uses: origin (acking node), target (hop sender),
+  // rel_seq (the acknowledged sequence).
+  kAck,
 };
 
 struct Envelope {
@@ -81,6 +95,10 @@ struct Envelope {
   double fwd_cost = 0.0;            // the request's accumulated cost, echoed in the reply
   int ttl = 0;
   std::uint64_t token = 0;          // data-packet id (kData)
+  // Reliable-transport hop sequence (sim/reliable.hpp): nonzero while this
+  // copy's current hop transfer is ACK/retransmit protected; reset before
+  // the next hop reassigns it. 0 = plain unreliable delivery.
+  std::uint64_t rel_seq = 0;
 };
 
 }  // namespace gdvr::mdt

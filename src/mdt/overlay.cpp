@@ -39,6 +39,7 @@ void MdtOverlay::activate(NodeId u, const Vec& pos, bool first) {
   s.joined = first;
   s.pos = pos;
   s.err = 1.0;
+  s.pos_version += 1;
   send_hello(u);
 }
 
@@ -72,7 +73,7 @@ void MdtOverlay::start_join(NodeId u) {
     m.origin_info = info_of(u);
     m.visited = {u};
     m.ttl = config_.greedy_ttl;
-    net_.send(u, seed, std::move(m));
+    send_ctrl(u, seed, std::move(m));
   }
   // Retry until joined (replies may be lost to dead ends during construction).
   const double delay = 2.0 + rng_.uniform(0.0, 1.0);
@@ -81,7 +82,11 @@ void MdtOverlay::start_join(NodeId u) {
 
 void MdtOverlay::deactivate(NodeId u) {
   net_.set_alive(u, false);
+  const std::uint64_t pos_version = st(u).pos_version;
   st(u) = NodeState{};  // silent failure: all soft state at u is gone
+  // Position versions stay monotonic across reboots, so a rebooted node's
+  // fresh position is never out-voted by gossip about its previous life.
+  st(u).pos_version = pos_version;
 }
 
 // --------------------------------------------------------------------------
@@ -91,6 +96,7 @@ void MdtOverlay::set_position(NodeId u, const Vec& pos, double err) {
   NodeState& s = st(u);
   s.pos = pos;
   s.err = err;
+  s.pos_version += 1;
   if (!net_.alive(u)) return;
   // Push the new position to physical neighbors (direct) and multi-hop DT
   // neighbors (source-routed along the stored virtual-link path).
@@ -151,6 +157,30 @@ void MdtOverlay::run_maintenance_round(NodeId u) {
     if (it != s.cand.end() && (u < y || !it->second.synced)) it->second.synced = false;
   }
   schedule_recompute(u);
+
+  // Instability detection: a changed N_u means the triangulation around u is
+  // still in flux (churn, healed partition, position shifts), and one sync
+  // per J period chases it too slowly. Schedule a single follow-up sync
+  // within this round; a stable neighborhood never takes this path.
+  const bool changed = s.dt_nbrs != s.prev_round_dt;
+  s.prev_round_dt = s.dt_nbrs;
+  if (changed && config_.resync_after_change_s > 0.0 && !s.resync_scheduled) {
+    s.resync_scheduled = true;
+    const std::uint32_t inc = net_.incarnation(u);
+    net_.simulator().schedule_in(config_.resync_after_change_s, [this, u, inc] {
+      // The state this timer belongs to is gone if u died (and possibly
+      // rejoined as a new incarnation) in the meantime.
+      if (!net_.alive(u) || net_.incarnation(u) != inc) return;
+      NodeState& s2 = st(u);
+      s2.resync_scheduled = false;
+      if (!s2.active) return;
+      for (NodeId y : s2.dt_nbrs) {
+        auto it = s2.cand.find(y);
+        if (it != s2.cand.end() && (u < y || !it->second.synced)) it->second.synced = false;
+      }
+      schedule_recompute(u);
+    });
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -159,6 +189,18 @@ void MdtOverlay::run_maintenance_round(NodeId u) {
 void MdtOverlay::handle(NodeId to, NodeId from, Envelope msg) {
   NodeState& s = st(to);
   if (msg.kind == Kind::kToken) return;  // tokens belong to the layer above (VPoD)
+  if (msg.kind == Kind::kAck) {
+    if (reliable_ != nullptr) reliable_->on_ack(to, msg.rel_seq);
+    return;
+  }
+  // Reliable-transport hop bookkeeping: ACK the transfer (even when the
+  // message is a duplicate -- the earlier ACK may be the thing that was
+  // lost) and suppress retransmitted copies already processed.
+  if (reliable_ != nullptr && msg.rel_seq != 0) {
+    const bool fresh = reliable_->on_receive(to, from, msg.rel_seq);
+    msg.rel_seq = 0;
+    if (!fresh) return;
+  }
   if (msg.kind == Kind::kHello) {
     on_hello(to, msg);
     return;
@@ -231,7 +273,8 @@ void MdtOverlay::on_hello(NodeId u, const Envelope& msg) {
   // Learn/update a physical neighbor's advertised position and error. Stored
   // even before this node activates: the VPoD initialization rules need the
   // positions of already-initialized physical neighbors.
-  s.phys[msg.origin_info.id] = msg.origin_info;
+  if (!known || msg.origin_info.pos_version >= s.phys[msg.origin_info.id].pos_version)
+    s.phys[msg.origin_info.id] = msg.origin_info;
   // Neighbor-discovery handshake: a joined node answers a Hello from an
   // unknown or not-yet-joined neighbor (a fresh joiner, or a rebooted node
   // whose state was wiped) with its own Hello, so the joiner can bootstrap
@@ -247,8 +290,11 @@ void MdtOverlay::on_hello(NodeId u, const Envelope& msg) {
   }
   auto it = s.cand.find(msg.origin_info.id);
   if (it != s.cand.end()) {
-    it->second.pos = msg.origin_info.pos;
-    it->second.err = msg.origin_info.err;
+    if (msg.origin_info.pos_version >= it->second.pos_version) {
+      it->second.pos = msg.origin_info.pos;
+      it->second.err = msg.origin_info.err;
+      it->second.pos_version = msg.origin_info.pos_version;
+    }
     it->second.last_heard = net_.simulator().now();
   }
   // A neighbor announcing it joined unblocks our own join immediately (the
@@ -271,8 +317,11 @@ void MdtOverlay::on_join_reply(NodeId u, Envelope msg) {
   if (msg.target != u || !s.active) return;
   // The replier becomes a synced candidate with known cost and path.
   Candidate& c = s.cand[msg.origin];
-  c.pos = msg.origin_info.pos;
-  c.err = msg.origin_info.err;
+  if (msg.origin_info.pos_version >= c.pos_version) {
+    c.pos = msg.origin_info.pos;
+    c.err = msg.origin_info.err;
+    c.pos_version = msg.origin_info.pos_version;
+  }
   c.cost = msg.accum_cost;
   c.path.assign(msg.route.rbegin(), msg.route.rend());
   c.via = msg.origin;
@@ -300,8 +349,11 @@ void MdtOverlay::on_nbr_set_reply(NodeId u, Envelope msg) {
     s.pending.erase(pending_it);
   }
   Candidate& c = s.cand[msg.origin];
-  c.pos = msg.origin_info.pos;
-  c.err = msg.origin_info.err;
+  if (msg.origin_info.pos_version >= c.pos_version) {
+    c.pos = msg.origin_info.pos;
+    c.err = msg.origin_info.err;
+    c.pos_version = msg.origin_info.pos_version;
+  }
   c.cost = msg.accum_cost;
   c.path.assign(msg.route.rbegin(), msg.route.rend());
   c.via = msg.origin;
@@ -316,13 +368,18 @@ void MdtOverlay::on_pos_update(NodeId u, Envelope msg) {
   const sim::Time now = net_.simulator().now();
   if (msg.route.empty() && net_.links().has_edge(u, msg.origin)) {
     // Direct physical-neighbor update (acts as a keep-alive as well).
-    s.phys[msg.origin] = msg.origin_info;
+    auto pit = s.phys.find(msg.origin);
+    if (pit == s.phys.end() || msg.origin_info.pos_version >= pit->second.pos_version)
+      s.phys[msg.origin] = msg.origin_info;
   }
   auto it = s.cand.find(msg.origin);
   if (it != s.cand.end()) {
-    it->second.pos = msg.origin_info.pos;
-    it->second.err = msg.origin_info.err;
-    it->second.last_heard = now;
+    if (msg.origin_info.pos_version >= it->second.pos_version) {
+      it->second.pos = msg.origin_info.pos;
+      it->second.err = msg.origin_info.err;
+      it->second.pos_version = msg.origin_info.pos_version;
+    }
+    it->second.last_heard = now;  // direct evidence of liveness either way
   }
 }
 
@@ -339,7 +396,7 @@ std::optional<NodeId> MdtOverlay::greedy_next(NodeId u, const Vec& pos,
   NodeId best_phys = -1;
   double best_phys_d = own;
   for (const auto& [id, info] : s.phys) {
-    if (contains(visited, id) || !net_.alive(id)) continue;
+    if (contains(visited, id) || !net_.alive(id) || !net_.link_up(u, id)) continue;
     if (joined_only && !info.joined) continue;
     const double d = info.pos.distance(pos);
     if (d < best_phys_d) {
@@ -375,7 +432,7 @@ bool MdtOverlay::forward_request(NodeId u, Envelope msg) {
     if (s.phys.count(msg.target) && net_.alive(msg.target)) {
       msg.visited.push_back(u);
       const NodeId next = msg.target;  // read before the envelope is moved from
-      return net_.send(u, next, std::move(msg));
+      return send_ctrl(u, next, std::move(msg));
     }
     auto it = s.cand.find(msg.target);
     if (it != s.cand.end() && it->second.path.size() >= 2) {
@@ -384,7 +441,7 @@ bool MdtOverlay::forward_request(NodeId u, Envelope msg) {
       msg.route_idx = 0;
       msg.visited.push_back(u);
       const NodeId next = msg.route[1];
-      return net_.send(u, next, std::move(msg));
+      return send_ctrl(u, next, std::move(msg));
     }
   }
 
@@ -394,7 +451,7 @@ bool MdtOverlay::forward_request(NodeId u, Envelope msg) {
   if (s.phys.count(*next)) {
     msg.visited.push_back(u);
     const NodeId hop = *next;
-    return net_.send(u, hop, std::move(msg));
+    return send_ctrl(u, hop, std::move(msg));
   }
   // Multi-hop DT neighbor: detour along the stored virtual-link path.
   const auto it = s.cand.find(*next);
@@ -404,14 +461,26 @@ bool MdtOverlay::forward_request(NodeId u, Envelope msg) {
   msg.route_idx = 0;
   msg.visited.push_back(u);
   const NodeId hop = msg.route[1];
-  return net_.send(u, hop, std::move(msg));
+  return send_ctrl(u, hop, std::move(msg));
 }
 
 void MdtOverlay::forward_routed(NodeId u, Envelope msg) {
   const auto idx = static_cast<std::size_t>(msg.route_idx);
   if (idx + 1 >= msg.route.size()) return;
   const NodeId next = msg.route[idx + 1];
-  (void)net_.send(u, next, std::move(msg));  // failure = dead next hop; soft state recovers
+  (void)send_ctrl(u, next, std::move(msg));  // failure = dead next hop; soft state recovers
+}
+
+bool MdtOverlay::send_ctrl(NodeId from, NodeId to, Envelope msg) {
+  // Only the join / neighbor-set exchange opts into ACK + retransmit: it is
+  // the traffic whose loss stalls the protocol (a lost kPosUpdate or kHello
+  // is refreshed by the next periodic one anyway, and kData keeps the
+  // paper's fate-sharing semantics).
+  const bool protect = msg.kind == Kind::kJoinRequest || msg.kind == Kind::kJoinReply ||
+                       msg.kind == Kind::kNbrSetRequest || msg.kind == Kind::kNbrSetReply;
+  if (reliable_ != nullptr && protect) return reliable_->send(from, to, std::move(msg));
+  msg.rel_seq = 0;  // a forwarded copy must not reuse the previous hop's sequence
+  return net_.send(from, to, std::move(msg));
 }
 
 void MdtOverlay::note_relay(NodeId u, NodeId a, NodeId b, NodeId pred, NodeId succ) {
@@ -437,7 +506,8 @@ std::vector<NodeInfo> MdtOverlay::neighbor_infos(NodeId u) const {
     if (seen.count(y)) continue;
     auto it = s.cand.find(y);
     if (it == s.cand.end()) continue;
-    infos.push_back(NodeInfo{y, it->second.pos, it->second.err});
+    infos.push_back(NodeInfo{y, it->second.pos, it->second.err, /*joined=*/true,
+                             it->second.pos_version});
   }
   return infos;
 }
@@ -447,8 +517,11 @@ void MdtOverlay::reply_with_neighbor_set(NodeId u, const Envelope& request, Kind
   // Learn the requester: the request's accumulated cost is exactly this
   // node's routing cost back to the requester along the reverse trail.
   Candidate& c = s.cand[request.origin];
-  c.pos = request.origin_info.pos;
-  c.err = request.origin_info.err;
+  if (request.origin_info.pos_version >= c.pos_version) {
+    c.pos = request.origin_info.pos;
+    c.err = request.origin_info.err;
+    c.pos_version = request.origin_info.pos_version;
+  }
   c.cost = request.accum_cost;
   c.path.clear();
   c.path.push_back(u);
@@ -456,6 +529,9 @@ void MdtOverlay::reply_with_neighbor_set(NodeId u, const Envelope& request, Kind
   c.via = request.origin;
   c.last_heard = net_.simulator().now();
   c.synced = true;
+  // Mutual exchange: a neighbor-set request carries the requester's neighbor
+  // set (empty for join requests).
+  for (const NodeInfo& info : request.nbr_infos) merge_candidate_info(u, info, request.origin);
   schedule_recompute(u);
 
   Envelope r;
@@ -469,7 +545,7 @@ void MdtOverlay::reply_with_neighbor_set(NodeId u, const Envelope& request, Kind
   r.route_idx = 0;
   if (r.route.size() >= 2) {
     const NodeId next = r.route[1];  // read before the envelope is moved from
-    (void)net_.send(u, next, std::move(r));
+    (void)send_ctrl(u, next, std::move(r));
   }
 }
 
@@ -481,16 +557,23 @@ void MdtOverlay::merge_candidate_info(NodeId u, const NodeInfo& info, NodeId via
     Candidate c;
     c.pos = info.pos;
     c.err = info.err;
+    c.pos_version = info.pos_version;
     c.via = via;
     c.last_heard = net_.simulator().now();
     s.cand.emplace(info.id, std::move(c));
   } else {
-    // Refresh position/error only; cost, path and synced state are owned by
-    // the direct exchange with that node. Deliberately do NOT refresh
-    // last_heard: gossip is not evidence of liveness, and letting it count
-    // would keep dead nodes alive epidemically after churn.
-    it->second.pos = info.pos;
-    it->second.err = info.err;
+    // Refresh position/error only when the gossiped copy is strictly newer
+    // than what we hold -- a peer's snapshot of a node we also hear from
+    // directly is usually older, and overwriting fresher state with it
+    // measurably perturbs the local DT. When the direct channel lost an
+    // update, though, newer gossip repairs the staleness. Deliberately do
+    // NOT refresh last_heard: gossip is not evidence of liveness, and
+    // letting it count would keep dead nodes alive epidemically after churn.
+    if (info.pos_version > it->second.pos_version) {
+      it->second.pos = info.pos;
+      it->second.err = info.err;
+      it->second.pos_version = info.pos_version;
+    }
     if (!it->second.synced && via >= 0) it->second.via = via;
   }
 }
@@ -503,8 +586,15 @@ void MdtOverlay::mark_joined(NodeId u) {
 }
 
 void MdtOverlay::send_nbr_request(NodeId u, NodeId y) {
+  // External entry point: an exchange already in flight is not restarted
+  // (that would reset its retry budget -- see resend_nbr_request).
+  if (st(u).pending.count(y)) return;
+  resend_nbr_request(u, y);
+}
+
+void MdtOverlay::resend_nbr_request(NodeId u, NodeId y) {
   NodeState& s = st(u);
-  if (!s.active || !net_.alive(u) || s.pending.count(y)) return;
+  if (!s.active || !net_.alive(u)) return;
   auto cand_it = s.cand.find(y);
   if (cand_it == s.cand.end()) return;
 
@@ -515,6 +605,13 @@ void MdtOverlay::send_nbr_request(NodeId u, NodeId y) {
     e.target = to;
     e.target_pos = to_pos;
     e.origin_info = info_of(from);
+    // The exchange is mutual: the request carries the origin's neighbor set
+    // so the replier learns from it too. With one-directional gossip (only
+    // the requester learns, and the smaller id always initiates), neighbor
+    // knowledge only ever flows from larger ids to smaller ones -- a node
+    // pair whose informed common neighbors all have smaller ids than both
+    // endpoints would stay mutually unaware forever after churn.
+    e.nbr_infos = neighbor_infos(from);
     e.ttl = config_.greedy_ttl;
     return e;
   };
@@ -533,7 +630,7 @@ void MdtOverlay::send_nbr_request(NodeId u, NodeId y) {
   if (s.phys.count(y) && net_.alive(y)) {
     Envelope g = make_nbr_request(u, y, cand_it->second.pos);
     g.visited = {u};
-    sent = net_.send(u, y, std::move(g));
+    sent = send_ctrl(u, y, std::move(g));
   }
   if (!sent && config_.refresh_paths_greedily) {
     const auto next = greedy_next(u, cand_it->second.pos, {u}, /*joined_only=*/false);
@@ -541,7 +638,7 @@ void MdtOverlay::send_nbr_request(NodeId u, NodeId y) {
       Envelope g = make_nbr_request(u, y, cand_it->second.pos);
       g.visited = {u};
       const NodeId hop = *next;
-      sent = net_.send(u, hop, std::move(g));
+      sent = send_ctrl(u, hop, std::move(g));
     }
   }
   if (!sent && cand_it->second.path.size() >= 2) {
@@ -551,14 +648,14 @@ void MdtOverlay::send_nbr_request(NodeId u, NodeId y) {
     g.route_idx = 0;
     g.visited = {u};
     const NodeId hop = g.route[1];
-    sent = net_.send(u, hop, std::move(g));
+    sent = send_ctrl(u, hop, std::move(g));
   }
   const NodeId via = cand_it->second.via;
   if (!sent && via >= 0 && via != y && via != u) {
     if (s.phys.count(via) && net_.alive(via)) {
       Envelope g = make_nbr_request(u, y, cand_it->second.pos);
       g.visited = {u};
-      sent = net_.send(u, via, std::move(g));
+      sent = send_ctrl(u, via, std::move(g));
     } else {
       auto vit = s.cand.find(via);
       if (vit != s.cand.end() && vit->second.path.size() >= 2) {
@@ -568,7 +665,7 @@ void MdtOverlay::send_nbr_request(NodeId u, NodeId y) {
         g.route_idx = 0;
         g.visited = {u};
         const NodeId hop = g.route[1];
-        sent = net_.send(u, hop, std::move(g));
+        sent = send_ctrl(u, hop, std::move(g));
       }
     }
   }
@@ -578,6 +675,7 @@ void MdtOverlay::send_nbr_request(NodeId u, NodeId y) {
     sent = forward_request(u, std::move(g));
   }
 
+  ++sync_stats_.requests;
   PendingSync& p = s.pending[y];
   ++p.attempts;
   const int attempts = p.attempts;
@@ -586,20 +684,29 @@ void MdtOverlay::send_nbr_request(NodeId u, NodeId y) {
         NodeState& su = st(u);
         auto it = su.pending.find(y);
         if (it == su.pending.end() || it->second.attempts != attempts) return;
-        su.pending.erase(it);
-        if (!su.active || !net_.alive(u)) return;
-        auto cy = su.cand.find(y);
-        if (cy == su.cand.end()) return;
-        if (attempts < config_.max_sync_retries) {
-          send_nbr_request(u, y);
+        if (!su.active || !net_.alive(u)) {
+          su.pending.erase(it);
           return;
         }
-        // Give up this round. A neighbor we never managed to sync is likely
-        // dead or unreachable: drop it so the local DT can move on.
-        if (!cy->second.synced) {
-          su.cand.erase(cy);
-          schedule_recompute(u);
+        auto cy = su.cand.find(y);
+        if (cy == su.cand.end()) {
+          su.pending.erase(it);
+          return;
         }
+        if (attempts < config_.max_sync_retries) {
+          // Retry through the SAME pending entry so the attempt count
+          // accumulates; erasing it here would reset the retry budget and
+          // make the give-up below unreachable.
+          resend_nbr_request(u, y);
+          return;
+        }
+        // Give up this round; the next maintenance round starts a fresh
+        // exchange with a full budget. The candidate itself is NOT dropped
+        // here -- during early construction greedy dead-ends make honest
+        // neighbors slow to sync, and a genuinely dead one is reaped by the
+        // neighbor_stale_s soft-state timer anyway.
+        su.pending.erase(it);
+        ++sync_stats_.failures;
       });
   (void)sent;  // even a failed send arms the retry timer above
 }
@@ -680,6 +787,7 @@ void MdtOverlay::recompute(NodeId u) {
       Candidate c;
       c.pos = s.phys[y].pos;
       c.err = s.phys[y].err;
+      c.pos_version = s.phys[y].pos_version;
       c.cost = net_.link_cost(u, y);
       c.path = {u, y};
       c.last_heard = now;
@@ -694,7 +802,10 @@ void MdtOverlay::recompute(NodeId u) {
 void MdtOverlay::refresh_phys(NodeId u) {
   NodeState& s = st(u);
   for (auto it = s.phys.begin(); it != s.phys.end();) {
-    if (!net_.alive(it->first) || !net_.links().has_edge(u, it->first))
+    // Downed (flapping / partitioned) links count as absent: the neighbor is
+    // unreachable at the link layer until the fault clears, at which point
+    // its periodic Hello re-announces it.
+    if (!net_.alive(it->first) || !net_.link_usable(u, it->first))
       it = s.phys.erase(it);
     else
       ++it;
@@ -753,6 +864,13 @@ const std::vector<NodeId>& MdtOverlay::virtual_path(NodeId u, NodeId v) const {
 }
 
 std::vector<NodeId> MdtOverlay::dt_neighbors(NodeId u) const { return st(u).dt_nbrs; }
+
+std::vector<NodeId> MdtOverlay::candidate_ids(NodeId u) const {
+  std::vector<NodeId> ids;
+  ids.reserve(st(u).cand.size());
+  for (const auto& [id, c] : st(u).cand) ids.push_back(id);
+  return ids;
+}
 
 int MdtOverlay::distinct_nodes_stored(NodeId u) const {
   const NodeState& s = st(u);

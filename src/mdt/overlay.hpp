@@ -28,11 +28,23 @@
 #include "common/rng.hpp"
 #include "mdt/messages.hpp"
 #include "sim/netsim.hpp"
+#include "sim/reliable.hpp"
 #include "sim/simulator.hpp"
 
 namespace gdvr::mdt {
 
 using Net = sim::NetSim<Envelope>;
+using ReliableNet = sim::ReliableTransport<Envelope>;
+
+// The ACK message the reliable transport returns for a protected hop.
+inline Envelope make_ack(NodeId from, NodeId to, std::uint64_t seq) {
+  Envelope a;
+  a.kind = Kind::kAck;
+  a.origin = from;
+  a.target = to;
+  a.rel_seq = seq;
+  return a;
+}
 
 struct MdtConfig {
   int dim = 3;                     // dimension of the (virtual) space
@@ -48,6 +60,12 @@ struct MdtConfig {
   // maintenance round -- the mechanism behind churn recovery (Sec. IV-H).
   double neighbor_stale_s = 45.0;
   double recompute_delay_s = 0.7;  // coalescing delay for local DT recomputes
+  // Robustness: when a maintenance round observes that N_u changed since the
+  // previous round (churn, partition healing, large position shifts), one
+  // follow-up neighbor-set sync fires after this delay, still inside the
+  // same J period. Self-limiting: a stable DT never pays for it, while
+  // post-fault repair runs at twice the per-period rate. 0 disables.
+  double resync_after_change_s = 2.5;
   int greedy_ttl = 96;             // hop budget for greedy-forwarded requests
   // Ablation switch: when true (default), neighbor-set re-syncs route
   // greedily first so virtual-link paths shrink as the embedding converges;
@@ -73,6 +91,15 @@ class MdtOverlay {
 
   // Installs this overlay as the NetSim receiver. Call once before starting.
   void attach();
+
+  // Opts the join / neighbor-set control exchange into per-hop ACK +
+  // retransmit delivery (sim/reliable.hpp). Without it, once the control
+  // plane is lossy (set_loss_from_etx, fault-injected bursts), lost
+  // Neighbor-Set Requests/Replies stall sync until maintenance-round
+  // timeouts. The transport must outlive this overlay's message processing;
+  // pass nullptr to revert to plain delivery.
+  void use_reliable_transport(ReliableNet* transport) { reliable_ = transport; }
+  const ReliableNet* reliable_transport() const { return reliable_; }
 
   // --- node lifecycle -----------------------------------------------------
   // Node u enters the protocol with an initial position (sends Hello to all
@@ -109,6 +136,8 @@ class MdtOverlay {
   // (empty for physical neighbors and unknown nodes).
   const std::vector<NodeId>& virtual_path(NodeId u, NodeId v) const;
   std::vector<NodeId> dt_neighbors(NodeId u) const;
+  // Introspection for diagnostics/eval: the ids currently in C_u.
+  std::vector<NodeId> candidate_ids(NodeId u) const;
   // Storage metric: distinct remote nodes u must store to forward (physical
   // neighbors, DT neighbors, and relay-entry endpoints).
   int distinct_nodes_stored(NodeId u) const;
@@ -117,6 +146,14 @@ class MdtOverlay {
   const Net& net() const { return net_; }
   const MdtConfig& config() const { return config_; }
 
+  // Health counters for the neighbor-set sync machinery (bench/ablation_faults
+  // reads these to quantify what the reliable control transport buys).
+  struct SyncStats {
+    std::uint64_t requests = 0;  // neighbor-set requests sent, incl. retries
+    std::uint64_t failures = 0;  // sync rounds abandoned after max_sync_retries
+  };
+  const SyncStats& sync_stats() const { return sync_stats_; }
+
   // Receiver entry point (public so VPoD can delegate MDT kinds to it).
   void handle(NodeId to, NodeId from, Envelope msg);
 
@@ -124,6 +161,7 @@ class MdtOverlay {
   struct Candidate {
     Vec pos;
     double err = 1.0;
+    std::uint64_t pos_version = 0;  // version of `pos` (see NodeInfo)
     double cost = graph::kInf;     // routing cost from the owner to this node
     std::vector<NodeId> path;      // physical route owner -> ... -> node
     NodeId via = -1;               // the neighbor whose reply taught us this node
@@ -148,12 +186,15 @@ class MdtOverlay {
     bool got_join_reply = false;
     Vec pos;
     double err = 1.0;
+    std::uint64_t pos_version = 0;  // bumped on every set_position / activate
     std::map<NodeId, NodeInfo> phys;      // physical neighbors' advertised state
     std::map<NodeId, Candidate> cand;     // candidate set C_u
     std::vector<NodeId> dt_nbrs;          // N_u (sorted)
     // Relay entries: normalized endpoint pair -> pred/succ soft state.
     std::map<std::pair<NodeId, NodeId>, RelayEntry> relay;
     std::map<NodeId, PendingSync> pending;
+    std::vector<NodeId> prev_round_dt;    // N_u at the previous maintenance round
+    bool resync_scheduled = false;
     bool recompute_scheduled = false;
     sim::Time last_join_attempt = -1e18;  // rate limit for join retries
   };
@@ -162,7 +203,7 @@ class MdtOverlay {
   const NodeState& st(NodeId u) const { return states_[static_cast<std::size_t>(u)]; }
 
   NodeInfo info_of(NodeId u) const {
-    return NodeInfo{u, st(u).pos, st(u).err, st(u).joined};
+    return NodeInfo{u, st(u).pos, st(u).err, st(u).joined, st(u).pos_version};
   }
 
   // --- message handling ----------------------------------------------------
@@ -186,11 +227,17 @@ class MdtOverlay {
   bool forward_request(NodeId u, Envelope msg);
   // Continues a source-routed message from u along msg.route.
   void forward_routed(NodeId u, Envelope msg);
+  // One physical-hop control send; routes join / neighbor-set kinds through
+  // the reliable transport when one is attached.
+  bool send_ctrl(NodeId from, NodeId to, Envelope msg);
   // Installs/refreshes a relay entry at u for the virtual link (a, b).
   void note_relay(NodeId u, NodeId a, NodeId b, NodeId pred, NodeId succ);
 
   // --- protocol actions ------------------------------------------------------
   void send_nbr_request(NodeId u, NodeId y);
+  // (Re)sends without the in-flight guard: reuses any existing pending entry
+  // so retry attempts accumulate toward max_sync_retries.
+  void resend_nbr_request(NodeId u, NodeId y);
   void sync_missing_neighbors(NodeId u);
   void schedule_recompute(NodeId u);
   void recompute(NodeId u);
@@ -203,6 +250,8 @@ class MdtOverlay {
 
   Net& net_;
   MdtConfig config_;
+  ReliableNet* reliable_ = nullptr;
+  SyncStats sync_stats_;
   std::vector<NodeState> states_;
   Rng rng_;
   std::vector<NodeId> empty_path_;

@@ -1,0 +1,317 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <queue>
+
+#include "common/rng.hpp"
+
+namespace gdvr::sim {
+
+// ---------------------------------------------------------------------------
+// FaultSchedule
+
+FaultSchedule& FaultSchedule::push(FaultAction a) {
+  actions_.push_back(a);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::crash(Time at, int node) {
+  return push({at, FaultKind::kCrash, node, -1, 0.0, 0});
+}
+
+FaultSchedule& FaultSchedule::recover(Time at, int node) {
+  return push({at, FaultKind::kRecover, node, -1, 0.0, 0});
+}
+
+FaultSchedule& FaultSchedule::crash_cycle(Time at, int node, double downtime) {
+  crash(at, node);
+  return recover(at + downtime, node);
+}
+
+FaultSchedule& FaultSchedule::link_down(Time at, int u, int v) {
+  return push({at, FaultKind::kLinkDown, u, v, 0.0, 0});
+}
+
+FaultSchedule& FaultSchedule::link_up(Time at, int u, int v) {
+  return push({at, FaultKind::kLinkUp, u, v, 0.0, 0});
+}
+
+FaultSchedule& FaultSchedule::link_flap(Time at, int u, int v, double downtime) {
+  link_down(at, u, v);
+  return link_up(at + downtime, u, v);
+}
+
+FaultSchedule& FaultSchedule::loss_burst(Time at, double duration, double prob) {
+  const std::uint64_t tag = next_tag_++;
+  push({at, FaultKind::kLossStart, -1, -1, prob, tag});
+  return push({at + duration, FaultKind::kLossEnd, -1, -1, 0.0, tag});
+}
+
+FaultSchedule& FaultSchedule::dup_burst(Time at, double duration, double prob) {
+  const std::uint64_t tag = next_tag_++;
+  push({at, FaultKind::kDupStart, -1, -1, prob, tag});
+  return push({at + duration, FaultKind::kDupEnd, -1, -1, 0.0, tag});
+}
+
+FaultSchedule& FaultSchedule::delay_spike(Time at, double duration, double factor) {
+  const std::uint64_t tag = next_tag_++;
+  push({at, FaultKind::kDelayStart, -1, -1, factor, tag});
+  return push({at + duration, FaultKind::kDelayEnd, -1, -1, 0.0, tag});
+}
+
+FaultSchedule& FaultSchedule::partition(Time at, double duration, double fraction) {
+  const std::uint64_t tag = next_tag_++;
+  push({at, FaultKind::kPartitionStart, -1, -1, fraction, tag});
+  return push({at + duration, FaultKind::kPartitionEnd, -1, -1, 0.0, tag});
+}
+
+FaultSchedule& FaultSchedule::merge(const FaultSchedule& other) {
+  // Re-tag the merged windowed actions so tags stay unique within *this.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> remap;
+  for (FaultAction a : other.actions_) {
+    if (a.tag != 0) {
+      auto it = std::find_if(remap.begin(), remap.end(),
+                             [&](const auto& p) { return p.first == a.tag; });
+      if (it == remap.end()) {
+        remap.emplace_back(a.tag, next_tag_++);
+        a.tag = remap.back().second;
+      } else {
+        a.tag = it->second;
+      }
+    }
+    actions_.push_back(a);
+  }
+  return *this;
+}
+
+Time FaultSchedule::quiesce_time() const {
+  Time t = 0.0;
+  for (const FaultAction& a : actions_) t = std::max(t, a.at);
+  return t;
+}
+
+FaultSchedule FaultSchedule::random_chaos(const ChaosConfig& config, std::uint64_t seed,
+                                          int node_count,
+                                          const std::vector<std::pair<int, int>>& links) {
+  Rng rng(seed);
+  FaultSchedule s;
+  const double span = std::max(config.t_end - config.t_begin, 1e-9);
+  // Uniform time within the window, leaving room for `tail` of aftermath so
+  // the recovery/up/end action still lands inside [t_begin, t_end].
+  const auto when = [&](double tail) {
+    return config.t_begin + rng.uniform(0.0, std::max(span - tail, 1e-9));
+  };
+
+  for (int i = 0; i < config.crash_cycles && node_count > 1; ++i) {
+    int victim = rng.uniform_index(node_count);
+    if (victim == config.protected_node) victim = (victim + 1) % node_count;
+    const double down = rng.uniform(0.5, 1.5) * config.crash_downtime_s;
+    s.crash_cycle(when(down), victim, down);
+  }
+  for (int i = 0; i < config.link_flaps && !links.empty(); ++i) {
+    const auto [u, v] = links[static_cast<std::size_t>(rng.uniform_index(
+        static_cast<int>(links.size())))];
+    const double down = rng.uniform(0.5, 1.5) * config.flap_downtime_s;
+    s.link_flap(when(down), u, v, down);
+  }
+  for (int i = 0; i < config.loss_bursts; ++i) {
+    const double dur = rng.uniform(0.5, 1.5) * config.loss_burst_s;
+    s.loss_burst(when(dur), dur, config.loss_prob);
+  }
+  for (int i = 0; i < config.dup_bursts; ++i) {
+    const double dur = rng.uniform(0.5, 1.5) * config.dup_burst_s;
+    s.dup_burst(when(dur), dur, config.dup_prob);
+  }
+  for (int i = 0; i < config.delay_spikes; ++i) {
+    const double dur = rng.uniform(0.5, 1.5) * config.delay_spike_s;
+    s.delay_spike(when(dur), dur, config.delay_factor);
+  }
+  for (int i = 0; i < config.partitions; ++i) {
+    const double dur = rng.uniform(0.75, 1.25) * config.partition_s;
+    s.partition(when(dur), dur, config.partition_fraction);
+  }
+  return s;
+}
+
+std::string FaultSchedule::describe() const {
+  std::vector<FaultAction> sorted = actions_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const FaultAction& a, const FaultAction& b) { return a.at < b.at; });
+  std::string out;
+  char line[128];
+  for (const FaultAction& a : sorted) {
+    const char* name = "?";
+    switch (a.kind) {
+      case FaultKind::kCrash: name = "crash"; break;
+      case FaultKind::kRecover: name = "recover"; break;
+      case FaultKind::kLinkDown: name = "link-down"; break;
+      case FaultKind::kLinkUp: name = "link-up"; break;
+      case FaultKind::kLossStart: name = "loss-start"; break;
+      case FaultKind::kLossEnd: name = "loss-end"; break;
+      case FaultKind::kDupStart: name = "dup-start"; break;
+      case FaultKind::kDupEnd: name = "dup-end"; break;
+      case FaultKind::kDelayStart: name = "delay-start"; break;
+      case FaultKind::kDelayEnd: name = "delay-end"; break;
+      case FaultKind::kPartitionStart: name = "partition-start"; break;
+      case FaultKind::kPartitionEnd: name = "partition-end"; break;
+    }
+    std::snprintf(line, sizeof(line), "t=%8.2f  %-15s node=%d node_b=%d mag=%.3f tag=%llu\n",
+                  a.at, name, a.node, a.node_b, a.magnitude,
+                  static_cast<unsigned long long>(a.tag));
+    out += line;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+
+FaultInjector::FaultInjector(Simulator& sim, FaultActions actions)
+    : sim_(sim), actions_(std::move(actions)) {}
+
+void FaultInjector::install(const FaultSchedule& schedule) {
+  for (const FaultAction& a : schedule.actions()) {
+    GDVR_ASSERT_MSG(a.at >= sim_.now(), "fault schedule reaches into the past");
+    sim_.schedule_at(a.at, [this, a] { apply(a); });
+  }
+}
+
+void FaultInjector::apply(const FaultAction& a) {
+  switch (a.kind) {
+    case FaultKind::kCrash:
+      if (actions_.crash) actions_.crash(a.node);
+      ++crashes_;
+      break;
+    case FaultKind::kRecover:
+      if (actions_.recover) actions_.recover(a.node);
+      ++recoveries_;
+      break;
+    case FaultKind::kLinkDown:
+      if (actions_.set_link_up) actions_.set_link_up(a.node, a.node_b, false);
+      ++link_events_;
+      break;
+    case FaultKind::kLinkUp:
+      if (actions_.set_link_up) actions_.set_link_up(a.node, a.node_b, true);
+      ++link_events_;
+      break;
+    case FaultKind::kLossStart:
+      open_window(FaultKind::kLossStart, a.tag, a.magnitude);
+      break;
+    case FaultKind::kLossEnd:
+      close_window(FaultKind::kLossStart, a.tag);
+      break;
+    case FaultKind::kDupStart:
+      open_window(FaultKind::kDupStart, a.tag, a.magnitude);
+      break;
+    case FaultKind::kDupEnd:
+      close_window(FaultKind::kDupStart, a.tag);
+      break;
+    case FaultKind::kDelayStart:
+      open_window(FaultKind::kDelayStart, a.tag, a.magnitude);
+      break;
+    case FaultKind::kDelayEnd:
+      close_window(FaultKind::kDelayStart, a.tag);
+      break;
+    case FaultKind::kPartitionStart:
+      begin_partition(a);
+      break;
+    case FaultKind::kPartitionEnd:
+      end_partition(a.tag);
+      break;
+  }
+}
+
+void FaultInjector::open_window(FaultKind kind, std::uint64_t tag, double magnitude) {
+  windows_.push_back({kind, tag, magnitude});
+  ++windows_opened_;
+  apply_windows(kind);
+}
+
+void FaultInjector::close_window(FaultKind kind, std::uint64_t tag) {
+  windows_.erase(std::remove_if(windows_.begin(), windows_.end(),
+                                [&](const Window& w) { return w.kind == kind && w.tag == tag; }),
+                 windows_.end());
+  apply_windows(kind);
+}
+
+void FaultInjector::apply_windows(FaultKind kind) {
+  // The most recently opened window of this kind wins; none open -> neutral.
+  double magnitude = kind == FaultKind::kDelayStart ? 1.0 : 0.0;
+  for (auto it = windows_.rbegin(); it != windows_.rend(); ++it) {
+    if (it->kind == kind) {
+      magnitude = it->magnitude;
+      break;
+    }
+  }
+  switch (kind) {
+    case FaultKind::kLossStart:
+      if (actions_.set_loss) actions_.set_loss(magnitude);
+      break;
+    case FaultKind::kDupStart:
+      if (actions_.set_duplication) actions_.set_duplication(magnitude);
+      break;
+    case FaultKind::kDelayStart:
+      if (actions_.set_delay_factor) actions_.set_delay_factor(magnitude);
+      break;
+    default:
+      break;
+  }
+}
+
+void FaultInjector::begin_partition(const FaultAction& a) {
+  if (!actions_.edges || !actions_.node_count || !actions_.set_link_up) return;
+  const std::vector<std::pair<int, int>> edges = actions_.edges();
+  const int n = actions_.node_count();
+  if (n <= 1 || edges.empty()) return;
+
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (const auto& [u, v] : edges) {
+    adj[static_cast<std::size_t>(u)].push_back(v);
+    adj[static_cast<std::size_t>(v)].push_back(u);
+  }
+  // Deterministic per-partition seed: grow side A by BFS from a tag-derived
+  // alive node until it holds `fraction` of the nodes, then cut every edge
+  // with exactly one endpoint in A. BFS keeps side A connected, so the cut
+  // really disconnects two internally connected halves.
+  Rng rng(0xFA017Full ^ (a.tag * 0x9E3779B97F4A7C15ull));
+  int start = rng.uniform_index(n);
+  for (int probe = 0; probe < n && actions_.is_alive && !actions_.is_alive(start); ++probe)
+    start = (start + 1) % n;
+  const auto target = static_cast<std::size_t>(
+      std::max(1.0, a.magnitude * static_cast<double>(n)));
+  std::vector<char> in_a(static_cast<std::size_t>(n), 0);
+  std::queue<int> bfs;
+  bfs.push(start);
+  in_a[static_cast<std::size_t>(start)] = 1;
+  std::size_t size_a = 1;
+  while (!bfs.empty() && size_a < target) {
+    const int u = bfs.front();
+    bfs.pop();
+    for (int v : adj[static_cast<std::size_t>(u)]) {
+      if (in_a[static_cast<std::size_t>(v)] || size_a >= target) continue;
+      in_a[static_cast<std::size_t>(v)] = 1;
+      ++size_a;
+      bfs.push(v);
+    }
+  }
+  std::vector<std::pair<int, int>> cut;
+  for (const auto& [u, v] : edges)
+    if (in_a[static_cast<std::size_t>(u)] != in_a[static_cast<std::size_t>(v)]) cut.push_back({u, v});
+  for (const auto& [u, v] : cut) actions_.set_link_up(u, v, false);
+  ++link_events_;
+  ++partitions_;
+  partition_cuts_.emplace_back(a.tag, std::move(cut));
+}
+
+void FaultInjector::end_partition(std::uint64_t tag) {
+  for (auto it = partition_cuts_.begin(); it != partition_cuts_.end(); ++it) {
+    if (it->first != tag) continue;
+    for (const auto& [u, v] : it->second) actions_.set_link_up(u, v, true);
+    ++link_events_;
+    partition_cuts_.erase(it);
+    return;
+  }
+}
+
+}  // namespace gdvr::sim

@@ -1,0 +1,184 @@
+// Fault-injection subsystem: layers scripted and randomized fault schedules
+// onto a running simulation.
+//
+// A FaultSchedule is a plain, inspectable list of timed fault actions --
+// node crash/recover, per-link down/up flapping, burst message loss,
+// duplication bursts, delay spikes, and temporary partitions. Schedules are
+// composable (merge) and seed-deterministic: `random_chaos` expands a
+// ChaosConfig into a concrete scripted schedule using only its own RNG, so a
+// given (config, seed) pair always produces the same fault sequence.
+//
+// A FaultInjector binds a schedule to a Simulator through a FaultActions
+// vtable of std::functions, so the same machinery drives any NetSim
+// instantiation (the message type never reaches this layer) and the
+// crash/recover actions can go through the protocol layer (e.g.
+// Vpod::fail_node / join_node) rather than bare link-layer liveness.
+//
+// Partitions are resolved topologically at install time: a BFS from a
+// seed-chosen node over the currently known physical edges grows one side
+// until it holds ~half the nodes, and every edge crossing the cut is taken
+// down for the partition's duration. This guarantees a genuine split of the
+// connected component rather than a random edge subset.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace gdvr::sim {
+
+// How a schedule touches the world. Bind these to a NetSim (+ protocol
+// lifecycle hooks) with your own lambdas, or use the adapters in
+// eval/protocol_runner.hpp for the VPoD stack.
+struct FaultActions {
+  std::function<void(int)> crash;                     // node fails silently
+  std::function<void(int)> recover;                   // node rejoins
+  std::function<void(int, int, bool)> set_link_up;    // administrative link state
+  std::function<void(double)> set_loss;               // extra uniform drop prob
+  std::function<void(double)> set_duplication;        // duplicate-delivery prob
+  std::function<void(double)> set_delay_factor;       // per-hop delay multiplier
+  std::function<int()> node_count;
+  // Undirected physical edges (u < v), used to resolve partitions.
+  std::function<std::vector<std::pair<int, int>>()> edges;
+  std::function<bool(int)> is_alive;                  // current liveness (optional)
+};
+
+enum class FaultKind {
+  kCrash,        // node: victim
+  kRecover,      // node: victim
+  kLinkDown,     // link: (a, b)
+  kLinkUp,       // link: (a, b)
+  kLossStart,    // magnitude: drop probability
+  kLossEnd,
+  kDupStart,     // magnitude: duplication probability
+  kDupEnd,
+  kDelayStart,   // magnitude: delay factor
+  kDelayEnd,
+  kPartitionStart,  // magnitude: fraction of nodes on the cut-off side
+  kPartitionEnd,
+};
+
+struct FaultAction {
+  Time at = 0.0;
+  FaultKind kind = FaultKind::kCrash;
+  int node = -1;          // victim (crash/recover) or link endpoint a
+  int node_b = -1;        // link endpoint b
+  double magnitude = 0.0; // probability / factor / partition fraction
+  std::uint64_t tag = 0;  // pairs Start/End actions (e.g. nested partitions)
+};
+
+// Parameters for a randomized chaos run. All rates are expanded into a
+// concrete scripted schedule by `random_chaos`; the window [t_begin, t_end]
+// bounds every injected fault, so the system provably quiesces after t_end.
+struct ChaosConfig {
+  Time t_begin = 0.0;
+  Time t_end = 100.0;
+  int crash_cycles = 5;            // crash/recover cycles spread over the window
+  double crash_downtime_s = 8.0;   // mean downtime per cycle
+  int link_flaps = 10;             // per-link down/up events
+  double flap_downtime_s = 3.0;    // mean outage per flap
+  int loss_bursts = 3;             // burst-loss windows
+  double loss_prob = 0.25;         // drop probability inside a burst
+  double loss_burst_s = 10.0;      // mean burst duration
+  int dup_bursts = 2;              // duplication windows
+  double dup_prob = 0.3;
+  double dup_burst_s = 8.0;
+  int delay_spikes = 2;            // delay-spike windows
+  double delay_factor = 8.0;       // per-hop delay multiplier inside a spike
+  double delay_spike_s = 6.0;
+  int partitions = 1;              // temporary partitions
+  double partition_s = 12.0;       // mean partition duration
+  double partition_fraction = 0.5; // target size of the cut-off side
+  int protected_node = 0;          // never crashed (e.g. the token origin)
+};
+
+class FaultSchedule {
+ public:
+  // --- scripted construction ----------------------------------------------
+  FaultSchedule& crash(Time at, int node);
+  FaultSchedule& recover(Time at, int node);
+  // Crash at `at`, recover after `downtime`.
+  FaultSchedule& crash_cycle(Time at, int node, double downtime);
+  FaultSchedule& link_down(Time at, int u, int v);
+  FaultSchedule& link_up(Time at, int u, int v);
+  FaultSchedule& link_flap(Time at, int u, int v, double downtime);
+  FaultSchedule& loss_burst(Time at, double duration, double prob);
+  FaultSchedule& dup_burst(Time at, double duration, double prob);
+  FaultSchedule& delay_spike(Time at, double duration, double factor);
+  FaultSchedule& partition(Time at, double duration, double fraction = 0.5);
+
+  // Merges another schedule into this one (schedules compose by union).
+  FaultSchedule& merge(const FaultSchedule& other);
+
+  // Expands a ChaosConfig into a concrete scripted schedule, deterministic
+  // in (config, seed). Node/link victims are resolved at install time from
+  // FaultActions (so one schedule can drive differently sized networks);
+  // here victims are chosen as indices via the seed.
+  static FaultSchedule random_chaos(const ChaosConfig& config, std::uint64_t seed, int node_count,
+                                    const std::vector<std::pair<int, int>>& links);
+
+  const std::vector<FaultAction>& actions() const { return actions_; }
+  bool empty() const { return actions_.empty(); }
+  // Latest action time (0 for an empty schedule): after this instant the
+  // schedule injects nothing further and every windowed fault has ended.
+  Time quiesce_time() const;
+
+  // Human-readable one-line-per-action dump (reproducing a failing seed).
+  std::string describe() const;
+
+ private:
+  FaultSchedule& push(FaultAction a);
+  std::vector<FaultAction> actions_;
+  std::uint64_t next_tag_ = 1;
+};
+
+// Schedules every action of a FaultSchedule onto the simulator. Windowed
+// knobs (loss/dup/delay) nest: the most recent still-open window wins, and
+// closing a window restores the previous one.
+class FaultInjector {
+ public:
+  FaultInjector(Simulator& sim, FaultActions actions);
+
+  // Schedules the whole fault script. May be called more than once to
+  // compose schedules at runtime; actions in the past are rejected.
+  void install(const FaultSchedule& schedule);
+
+  // --- observability -------------------------------------------------------
+  int crashes_injected() const { return crashes_; }
+  int recoveries_injected() const { return recoveries_; }
+  int link_events_injected() const { return link_events_; }
+  int windows_opened() const { return windows_opened_; }
+  int partitions_injected() const { return partitions_; }
+
+ private:
+  void apply(const FaultAction& a);
+  void begin_partition(const FaultAction& a);
+  void end_partition(std::uint64_t tag);
+
+  struct Window {
+    FaultKind kind;
+    std::uint64_t tag;
+    double magnitude;
+  };
+
+  void open_window(FaultKind kind, std::uint64_t tag, double magnitude);
+  void close_window(FaultKind kind, std::uint64_t tag);
+  void apply_windows(FaultKind kind);
+
+  Simulator& sim_;
+  FaultActions actions_;
+  std::vector<Window> windows_;  // open loss/dup/delay windows, oldest first
+  // Edges taken down per open partition tag (restored on PartitionEnd).
+  std::vector<std::pair<std::uint64_t, std::vector<std::pair<int, int>>>> partition_cuts_;
+  int crashes_ = 0;
+  int recoveries_ = 0;
+  int link_events_ = 0;
+  int windows_opened_ = 0;
+  int partitions_ = 0;
+};
+
+}  // namespace gdvr::sim

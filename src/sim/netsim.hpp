@@ -3,14 +3,25 @@
 // accounts every transmission (the paper's communication-cost metric counts
 // messages sent per node, including each hop of a multi-hop forwarding).
 //
-// Delivery is reliable: link lossiness is captured by the routing metric
-// (ETX), not by dropping control messages -- the same abstraction the paper
-// uses. Nodes can be dead (churn): dead nodes neither send nor receive, and
-// messages in flight to a node that dies are dropped on arrival.
+// Delivery is reliable by default: link lossiness is captured by the routing
+// metric (ETX), not by dropping control messages -- the same abstraction the
+// paper uses. Beyond that baseline, the layer exposes the failure modes the
+// fault-injection subsystem (sim/faults.hpp) drives:
+//  * dead nodes (churn): neither send nor receive; messages in flight to a
+//    node that dies are dropped on arrival, and a per-node incarnation
+//    number guarantees a message sent to one incarnation is never delivered
+//    to a later one (die-and-rejoin races);
+//  * downed links (flapping / partitions): send fails at the link layer;
+//  * burst loss: an extra uniform drop probability on top of the ETX model;
+//  * duplication: a transmission may arrive twice (independent delays);
+//  * delay spikes: sampled delays are scaled, reordering traffic relative
+//    to messages sent outside the spike window.
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -33,9 +44,11 @@ class NetSim {
         delay_max_(delay_max),
         rng_(seed),
         alive_(static_cast<std::size_t>(links.size()), true),
+        incarnation_(static_cast<std::size_t>(links.size()), 0),
         sent_(static_cast<std::size_t>(links.size()), 0) {}
 
   Simulator& simulator() { return sim_; }
+  const Simulator& simulator() const { return sim_; }
   const graph::Graph& links() const { return links_; }
   int size() const { return links_.size(); }
 
@@ -54,28 +67,73 @@ class NetSim {
   void clear_loss_model() { loss_etx_ = nullptr; }
   std::uint64_t messages_lost() const { return lost_; }
 
-  bool alive(int node) const { return alive_[static_cast<std::size_t>(node)]; }
-  void set_alive(int node, bool alive) { alive_[static_cast<std::size_t>(node)] = alive; }
+  // --- fault-injection knobs (driven by sim/faults.hpp) --------------------
+  // Extra uniform drop probability applied to every transmission (burst
+  // loss), on top of the ETX loss model if one is set.
+  void set_fault_loss(double p) { fault_loss_ = std::clamp(p, 0.0, 1.0); }
+  double fault_loss() const { return fault_loss_; }
+  // Probability that a delivered transmission arrives a second time with an
+  // independently sampled delay (duplication faults).
+  void set_duplication(double p) { dup_prob_ = std::clamp(p, 0.0, 1.0); }
+  double duplication() const { return dup_prob_; }
+  // Multiplier on sampled per-hop delays (delay spikes; >= 1 reorders
+  // in-flight traffic relative to normal-delay messages).
+  void set_delay_factor(double f) { delay_factor_ = std::max(f, 0.0); }
+  double delay_factor() const { return delay_factor_; }
+  // Administrative (fault) state of a physical link; both directions share
+  // one state. Returns false if no such physical link exists.
+  void set_link_up(int u, int v, bool up) {
+    const auto key = u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+    if (up)
+      down_links_.erase(key);
+    else if (links_.has_edge(u, v))
+      down_links_.insert(key);
+  }
+  bool link_up(int u, int v) const {
+    const auto key = u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+    return down_links_.count(key) == 0;
+  }
+  // A link exists physically AND is administratively up.
+  bool link_usable(int u, int v) const { return links_.has_edge(u, v) && link_up(u, v); }
 
-  // Link-layer view: alive physical neighbors of an alive node, with costs.
+  bool alive(int node) const { return alive_[static_cast<std::size_t>(node)]; }
+  void set_alive(int node, bool alive) {
+    // A node that rejoins is a fresh incarnation: messages addressed to the
+    // previous incarnation (still in flight across its death) must not be
+    // delivered to the new one.
+    if (alive && !alive_[static_cast<std::size_t>(node)])
+      ++incarnation_[static_cast<std::size_t>(node)];
+    alive_[static_cast<std::size_t>(node)] = alive;
+  }
+  std::uint32_t incarnation(int node) const {
+    return incarnation_[static_cast<std::size_t>(node)];
+  }
+
+  // Link-layer view: alive physical neighbors of an alive node over usable
+  // links, with costs.
   std::vector<graph::Edge> alive_neighbors(int u) const {
     std::vector<graph::Edge> result;
     if (!alive(u)) return result;
     for (const graph::Edge& e : links_.neighbors(u))
-      if (alive(e.to)) result.push_back(e);
+      if (alive(e.to) && link_up(u, e.to)) result.push_back(e);
     return result;
   }
 
   double link_cost(int u, int v) const { return links_.link_cost(u, v); }
 
   // Sends over the physical link from -> to. Returns false (and sends
-  // nothing) if the link does not exist or either endpoint is dead at send
-  // time. The transmission is counted at the sender.
+  // nothing) if the link does not exist or is down, or either endpoint is
+  // dead at send time. The transmission is counted at the sender.
   bool send(int from, int to, Message msg) {
     if (!alive(from) || !alive(to)) return false;
-    if (!links_.has_edge(from, to)) return false;
+    if (!link_usable(from, to)) return false;
     ++sent_[static_cast<std::size_t>(from)];
     ++total_sent_;
+    if (fault_loss_ > 0.0 && rng_.bernoulli(fault_loss_)) {
+      ++lost_;
+      ++fault_lost_;
+      return true;  // transmitted (and counted), but never arrives
+    }
     if (loss_etx_ != nullptr) {
       const double etx = loss_etx_->link_cost(from, to);
       const double prr = etx >= 1.0 ? 1.0 / etx : 1.0;
@@ -84,31 +142,60 @@ class NetSim {
         return true;  // transmitted (and counted), but never arrives
       }
     }
-    const double delay = rng_.uniform(delay_min_, delay_max_);
-    sim_.schedule_in(delay, [this, from, to, m = std::move(msg)]() mutable {
-      if (!alive(to)) return;  // receiver died while the message was in flight
-      if (receiver_) receiver_(to, from, std::move(m));
-    });
+    const bool duplicate = dup_prob_ > 0.0 && rng_.bernoulli(dup_prob_);
+    deliver(from, to, msg);
+    if (duplicate) {
+      ++duplicated_;
+      deliver(from, to, std::move(msg));
+    }
     return true;
   }
 
   std::uint64_t messages_sent(int node) const { return sent_[static_cast<std::size_t>(node)]; }
   std::uint64_t total_messages_sent() const { return total_sent_; }
+  // Messages dropped on arrival because the receiver died (or died and
+  // rejoined as a new incarnation) while they were in flight.
+  std::uint64_t messages_expired() const { return expired_; }
+  // Subsets of messages_lost() / extra deliveries injected by fault knobs.
+  std::uint64_t fault_messages_lost() const { return fault_lost_; }
+  std::uint64_t messages_duplicated() const { return duplicated_; }
   void reset_counters() {
     std::fill(sent_.begin(), sent_.end(), 0);
     total_sent_ = 0;
   }
 
  private:
+  void deliver(int from, int to, Message msg) {
+    const double delay = rng_.uniform(delay_min_, delay_max_) * delay_factor_;
+    const std::uint32_t inc = incarnation(to);
+    sim_.schedule_in(delay, [this, from, to, inc, m = std::move(msg)]() mutable {
+      // Receiver died -- or died and rejoined -- while the message was in
+      // flight: the message belongs to a previous incarnation.
+      if (!alive(to) || incarnation(to) != inc) {
+        ++expired_;
+        return;
+      }
+      if (receiver_) receiver_(to, from, std::move(m));
+    });
+  }
+
   Simulator& sim_;
   const graph::Graph& links_;
   double delay_min_;
   double delay_max_;
   Rng rng_;
   std::vector<bool> alive_;
+  std::vector<std::uint32_t> incarnation_;
   std::vector<std::uint64_t> sent_;
   std::uint64_t total_sent_ = 0;
   std::uint64_t lost_ = 0;
+  std::uint64_t fault_lost_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t expired_ = 0;
+  double fault_loss_ = 0.0;
+  double dup_prob_ = 0.0;
+  double delay_factor_ = 1.0;
+  std::set<std::pair<int, int>> down_links_;
   const graph::Graph* loss_etx_ = nullptr;
   std::function<void(int, int, Message)> receiver_;
 };

@@ -1,0 +1,41 @@
+#include "sim/reliable.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gdvr::sim {
+
+RetransmitBackoff::RetransmitBackoff(double initial_s, double backoff, double max_s)
+    : initial_s_(initial_s), backoff_(std::max(backoff, 1.0)), max_s_(std::max(max_s, initial_s)) {}
+
+double RetransmitBackoff::delay(int attempt) const {
+  const double exp = std::pow(backoff_, static_cast<double>(std::max(attempt - 1, 0)));
+  return std::min(initial_s_ * exp, max_s_);
+}
+
+DedupWindow::DedupWindow(std::size_t cap) : cap_(std::max<std::size_t>(cap, 1)) {}
+
+bool DedupWindow::accept(std::uint64_t seq) {
+  if (seq <= floor_) {
+    ++suppressed_;
+    return false;
+  }
+  if (!seen_.insert(seq).second) {
+    ++suppressed_;
+    return false;
+  }
+  // Compact: slide the floor over the contiguous prefix, then enforce the
+  // window cap by conservatively raising the floor past the oldest entries.
+  auto it = seen_.begin();
+  while (it != seen_.end() && *it == floor_ + 1) {
+    floor_ = *it;
+    it = seen_.erase(it);
+  }
+  while (seen_.size() > cap_) {
+    floor_ = std::max(floor_, *seen_.begin());
+    seen_.erase(seen_.begin());
+  }
+  return true;
+}
+
+}  // namespace gdvr::sim

@@ -1,0 +1,182 @@
+// Reliable control transport: a per-hop ACK/retransmit wrapper around
+// NetSim::send with exponential backoff, a retry cap, and duplicate
+// suppression.
+//
+// The paper's evaluation delivers control messages reliably and folds link
+// lossiness into the routing metric only; once real message loss is enabled
+// (NetSim::set_loss_from_etx or fault-injected loss bursts), lost
+// Neighbor-Set Requests/Replies starve the MDT join protocol, which only
+// recovers at maintenance-round timescales. This transport restores per-hop
+// delivery at retransmission timescales: each physical-hop transfer of an
+// opted-in message is acknowledged by the next hop, retransmitted with
+// exponential backoff while unacknowledged, and abandoned after a bounded
+// number of attempts (the hop may genuinely be gone -- the protocol's own
+// soft-state repair then takes over).
+//
+// Message requirements: the message type must expose a `std::uint64_t
+// rel_seq` field (0 = unreliable / unsequenced). Sequence numbers are
+// assigned per transmission attempt chain and are globally unique within one
+// transport instance, so duplicate suppression needs no per-pair state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "sim/netsim.hpp"
+#include "sim/simulator.hpp"
+
+namespace gdvr::sim {
+
+// Retransmission schedule: exponential backoff from `initial_s` by factor
+// `backoff` per attempt, capped at `max_s` (non-template core, see
+// reliable.cpp).
+class RetransmitBackoff {
+ public:
+  RetransmitBackoff(double initial_s, double backoff, double max_s);
+  // Timeout armed after transmission attempt `attempt` (1-based).
+  double delay(int attempt) const;
+
+ private:
+  double initial_s_;
+  double backoff_;
+  double max_s_;
+};
+
+// Sliding-window duplicate detector over globally unique sequence numbers.
+// Exact while at most `cap` sequences are simultaneously un-compacted; under
+// extreme reordering beyond the window, stragglers are conservatively
+// reported as duplicates (safe for control traffic: a duplicate-suppressed
+// request is simply retransmitted).
+class DedupWindow {
+ public:
+  explicit DedupWindow(std::size_t cap);
+  // True if `seq` is fresh (first acceptance), false if seen before.
+  bool accept(std::uint64_t seq);
+  std::uint64_t suppressed() const { return suppressed_; }
+
+ private:
+  std::set<std::uint64_t> seen_;
+  std::uint64_t floor_ = 0;  // every seq <= floor_ counts as seen
+  std::size_t cap_;
+  std::uint64_t suppressed_ = 0;
+};
+
+struct ReliableConfig {
+  double rto_initial_s = 0.3;  // first retransmit timeout (per-hop delays are <= 0.1 s)
+  double rto_backoff = 2.0;
+  double rto_max_s = 4.0;
+  int max_attempts = 6;        // total transmissions per hop before giving up
+  std::size_t dedup_window = 1 << 16;
+};
+
+struct ReliableStats {
+  std::uint64_t sent = 0;             // reliable sends requested
+  std::uint64_t retransmissions = 0;  // extra transmissions beyond the first
+  std::uint64_t acked = 0;
+  std::uint64_t gave_up = 0;          // retry cap exhausted (or sender died)
+  std::uint64_t acks_sent = 0;
+  std::uint64_t duplicates_suppressed = 0;
+};
+
+template <typename Message>
+class ReliableTransport {
+ public:
+  // `make_ack` builds the ACK message the receiver returns for a sequence
+  // (it travels unreliably over the same NetSim).
+  using AckFactory = std::function<Message(int from, int to, std::uint64_t seq)>;
+
+  ReliableTransport(NetSim<Message>& net, ReliableConfig config, AckFactory make_ack)
+      : net_(net),
+        config_(config),
+        backoff_(config.rto_initial_s, config.rto_backoff, config.rto_max_s),
+        dedup_(config.dedup_window),
+        make_ack_(std::move(make_ack)) {}
+
+  // Sends from -> to with per-hop retransmission. The initial transmission
+  // may fail outright (dead node, downed link); the retransmit timer still
+  // arms, because transient faults are exactly what the retries bridge.
+  // Always returns true: delivery is now a transport-layer concern.
+  bool send(int from, int to, Message msg) {
+    const std::uint64_t seq = next_seq_++;
+    msg.rel_seq = seq;
+    Pending p;
+    p.from = from;
+    p.to = to;
+    p.from_incarnation = net_.incarnation(from);
+    p.msg = std::move(msg);
+    auto [it, inserted] = pending_.emplace(seq, std::move(p));
+    GDVR_ASSERT(inserted);
+    ++stats_.sent;
+    transmit(it->second, seq);
+    return true;
+  }
+
+  // Receiver side: call for every arriving message with rel_seq != 0. Sends
+  // the ACK (even for duplicates -- the original ACK may have been the loss)
+  // and returns true if the message is fresh, false if it must be suppressed.
+  bool on_receive(int to, int from, std::uint64_t seq) {
+    ++stats_.acks_sent;
+    (void)net_.send(to, from, make_ack_(to, from, seq));
+    const bool fresh = dedup_.accept(seq);
+    if (!fresh) ++stats_.duplicates_suppressed;
+    return fresh;
+  }
+
+  // Sender side: call when an ACK arrives at `at` (the original sender).
+  void on_ack(int at, std::uint64_t seq) {
+    auto it = pending_.find(seq);
+    if (it == pending_.end() || it->second.from != at) return;
+    net_.simulator().cancel(it->second.timer);
+    pending_.erase(it);
+    ++stats_.acked;
+  }
+
+  const ReliableStats& stats() const { return stats_; }
+  std::size_t in_flight() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    int from = -1;
+    int to = -1;
+    std::uint32_t from_incarnation = 0;
+    int attempts = 0;
+    Message msg;
+    Simulator::EventId timer = Simulator::kInvalidEvent;
+  };
+
+  void transmit(Pending& p, std::uint64_t seq) {
+    ++p.attempts;
+    if (p.attempts > 1) ++stats_.retransmissions;
+    (void)net_.send(p.from, p.to, Message(p.msg));  // may fail; the timer retries
+    p.timer = net_.simulator().schedule_in(backoff_.delay(p.attempts),
+                                           [this, seq] { on_timeout(seq); });
+  }
+
+  void on_timeout(std::uint64_t seq) {
+    auto it = pending_.find(seq);
+    if (it == pending_.end()) return;
+    Pending& p = it->second;
+    // The sender died (or died and rejoined) since the send: its protocol
+    // state is gone, so the message belongs to a dead incarnation.
+    const bool sender_gone =
+        !net_.alive(p.from) || net_.incarnation(p.from) != p.from_incarnation;
+    if (sender_gone || p.attempts >= config_.max_attempts) {
+      pending_.erase(it);
+      ++stats_.gave_up;
+      return;
+    }
+    transmit(p, seq);
+  }
+
+  NetSim<Message>& net_;
+  ReliableConfig config_;
+  RetransmitBackoff backoff_;
+  DedupWindow dedup_;
+  AckFactory make_ack_;
+  std::map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_seq_ = 1;
+  ReliableStats stats_;
+};
+
+}  // namespace gdvr::sim

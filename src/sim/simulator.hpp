@@ -4,6 +4,12 @@
 // each message takes a uniformly random time to cross a link. Events with
 // equal timestamps fire in scheduling order (a monotone sequence number
 // breaks ties), so runs are fully deterministic for a given seed.
+//
+// Callback storage is O(pending events), not O(events ever scheduled): each
+// event occupies a slot that is reclaimed when the event fires or is
+// cancelled, and EventIds carry a per-slot generation counter so a stale id
+// (from an already-fired or cancelled event) can never cancel the slot's
+// current occupant.
 #pragma once
 
 #include <cstdint>
@@ -19,16 +25,29 @@ using Time = double;  // seconds
 
 class Simulator {
  public:
+  // Encodes (generation << 32) | (slot + 1); 0 is never a valid id, so a
+  // zero-initialized EventId is safely cancelable as a no-op.
   using EventId = std::uint64_t;
+  static constexpr EventId kInvalidEvent = 0;
 
   Time now() const { return now_; }
 
   EventId schedule_at(Time at, std::function<void()> fn) {
     GDVR_ASSERT_MSG(at >= now_, "cannot schedule in the past");
-    const EventId id = next_id_++;
-    queue_.push(Entry{at, id});
-    callbacks_.emplace_back(std::move(fn));
-    cancelled_.push_back(false);
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[slot];
+    s.fn = std::move(fn);
+    s.live = true;
+    const EventId id = make_id(slot, s.gen);
+    queue_.push(Entry{at, next_seq_++, id});
+    ++live_;
     return id;
   }
 
@@ -37,24 +56,37 @@ class Simulator {
   }
 
   void cancel(EventId id) {
-    if (id < cancelled_.size()) cancelled_[id] = true;
+    const std::uint32_t slot = slot_of(id);
+    if (slot >= slots_.size()) return;
+    Slot& s = slots_[slot];
+    if (!s.live || s.gen != gen_of(id)) return;  // stale id: slot moved on
+    release(slot);  // the queue entry becomes a tombstone, skipped at pop
   }
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  bool empty() const { return live_ == 0; }
+  // Number of live (scheduled, not yet fired or cancelled) events.
+  std::size_t pending() const { return live_; }
+  // Storage bound: slots ever allocated (regression hook -- must track peak
+  // pending, not total events scheduled).
+  std::size_t slot_capacity() const { return slots_.size(); }
 
   // Runs one event; returns false if the queue is empty.
   bool step() {
     while (!queue_.empty()) {
       const Entry e = queue_.top();
       queue_.pop();
+      const std::uint32_t slot = slot_of(e.id);
+      Slot& s = slots_[slot];
+      if (!s.live || s.gen != gen_of(e.id)) continue;  // cancelled tombstone
       now_ = e.at;
-      if (cancelled_[e.id]) continue;
-      // Move the callback out so it can schedule new events freely.
-      auto fn = std::move(callbacks_[e.id]);
+      // Move the callback out and reclaim the slot before running, so the
+      // callback can schedule new events (possibly reusing this very slot).
+      auto fn = std::move(s.fn);
+      release(slot);
       fn();
       return true;
     }
+    GDVR_ASSERT(live_ == 0);
     return false;
   }
 
@@ -62,11 +94,12 @@ class Simulator {
   void run_until(Time t) {
     while (!queue_.empty()) {
       const Entry e = queue_.top();
-      if (e.at > t) break;
-      if (cancelled_[e.id]) {
+      const std::uint32_t slot = slot_of(e.id);
+      if (!slots_[slot].live || slots_[slot].gen != gen_of(e.id)) {
         queue_.pop();
         continue;  // drop tombstones without touching the clock
       }
+      if (e.at > t) break;
       step();
     }
     GDVR_ASSERT(now_ <= t);
@@ -83,16 +116,41 @@ class Simulator {
  private:
   struct Entry {
     Time at;
+    std::uint64_t seq;  // monotone: FIFO among equal times
     EventId id;
-    // Earliest time first; FIFO among equal times via the monotone id.
-    bool operator>(const Entry& o) const { return at != o.at ? at > o.at : id > o.id; }
+    bool operator>(const Entry& o) const { return at != o.at ? at > o.at : seq > o.seq; }
   };
 
+  struct Slot {
+    std::function<void()> fn;
+    std::uint32_t gen = 0;
+    bool live = false;
+  };
+
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | (static_cast<EventId>(slot) + 1);
+  }
+  static std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>((id & 0xFFFFFFFFull) - 1);
+  }
+  static std::uint32_t gen_of(EventId id) { return static_cast<std::uint32_t>(id >> 32); }
+
+  void release(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.fn = nullptr;
+    s.live = false;
+    ++s.gen;  // invalidate every outstanding EventId for this slot
+    free_.push_back(slot);
+    GDVR_ASSERT(live_ > 0);
+    --live_;
+  }
+
   Time now_ = 0.0;
-  EventId next_id_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::vector<std::function<void()>> callbacks_;
-  std::vector<bool> cancelled_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
 };
 
 }  // namespace gdvr::sim

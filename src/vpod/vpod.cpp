@@ -56,7 +56,9 @@ void Vpod::receive_token(NodeId u, const NodeInfo& sender) {
 
   // Enter the first J period shortly afterwards (staggered so the token
   // flood and initial Hellos settle).
-  net_.simulator().schedule_in(0.1 + rng_.uniform(0.0, 0.2), [this, u] { enter_join_period(u); });
+  net_.simulator().schedule_in(0.1 + rng_.uniform(0.0, 0.2), [this, u, life = life_of(u)] {
+    if (same_life(u, life)) enter_join_period(u);
+  });
 }
 
 Vec Vpod::initial_position(NodeId u, const NodeInfo& sender) {
@@ -111,7 +113,9 @@ void Vpod::enter_join_period(NodeId u) {
     overlay_.start_join(u);
   else
     overlay_.run_maintenance_round(u);
-  net_.simulator().schedule_in(config_.join_period_s, [this, u] { enter_adjust_period(u); });
+  net_.simulator().schedule_in(config_.join_period_s, [this, u, life = life_of(u)] {
+    if (same_life(u, life)) enter_adjust_period(u);
+  });
 }
 
 void Vpod::enter_adjust_period(NodeId u) {
@@ -128,15 +132,15 @@ void Vpod::adjustment_tick(NodeId u) {
   const sim::Time next = net_.simulator().now() + dt;
   if (next >= a_end) {
     // Period over: one last wait until the boundary, then back to a J period.
-    net_.simulator().schedule_at(a_end, [this, u] {
-      if (!net_.alive(u) || !overlay_.active(u)) return;
+    net_.simulator().schedule_at(a_end, [this, u, life = life_of(u)] {
+      if (!same_life(u, life) || !net_.alive(u) || !overlay_.active(u)) return;
       ++periods_[static_cast<std::size_t>(u)];
       enter_join_period(u);
     });
     return;
   }
-  net_.simulator().schedule_at(next, [this, u] {
-    if (!net_.alive(u) || !overlay_.active(u)) return;
+  net_.simulator().schedule_at(next, [this, u, life = life_of(u)] {
+    if (!same_life(u, life) || !net_.alive(u) || !overlay_.active(u)) return;
     adjust(u);
     adjustment_tick(u);
   });
@@ -189,7 +193,10 @@ void Vpod::adjust(NodeId u) {
 
 void Vpod::fail_node(NodeId u) {
   overlay_.deactivate(u);
-  ctl_[static_cast<std::size_t>(u)] = NodeCtl{};
+  NodeCtl& c = ctl_[static_cast<std::size_t>(u)];
+  const std::uint32_t next_life = c.life + 1;
+  c = NodeCtl{};
+  c.life = next_life;  // cancels every timer scheduled in the previous life
   periods_[static_cast<std::size_t>(u)] = 0;
 }
 
@@ -212,7 +219,9 @@ void Vpod::join_node(NodeId u) {
   // Small offset so multiple joiners sharing neighbors do not coincide.
   pos = rng_.point_on_sphere(pos, 0.05 + 0.001 * static_cast<double>(u));
   overlay_.activate(u, pos, false);
-  net_.simulator().schedule_in(0.1 + rng_.uniform(0.0, 0.2), [this, u] { enter_join_period(u); });
+  net_.simulator().schedule_in(0.1 + rng_.uniform(0.0, 0.2), [this, u, life = life_of(u)] {
+    if (same_life(u, life)) enter_join_period(u);
+  });
 }
 
 }  // namespace gdvr::vpod

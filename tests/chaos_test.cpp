@@ -1,0 +1,181 @@
+// Chaos test: the full VPoD/MDT stack survives a randomized but
+// seed-deterministic fault storm -- sustained control-plane loss, repeated
+// crash/recover cycles, link flapping, duplication, delay spikes, and a
+// transient network partition -- and re-converges once the faults quiesce.
+//
+// To reproduce a failing run, the installed schedule is printed via
+// FaultSchedule::describe() (SCOPED_TRACE), so the exact fault sequence for
+// this (config, seed) pair is in the failure output.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "eval/invariants.hpp"
+#include "eval/protocol_runner.hpp"
+#include "radio/topology.hpp"
+#include "sim/faults.hpp"
+#include "vpod/vpod.hpp"
+
+namespace gdvr::eval {
+namespace {
+
+radio::Topology dense_topo(int n, std::uint64_t seed) {
+  radio::TopologyConfig tc;
+  tc.n = n;
+  tc.seed = seed;
+  tc.target_avg_degree = 14.5;
+  return radio::make_random_topology(tc);
+}
+
+TEST(Chaos, MdtReconvergesAfterFaultStorm) {
+  const radio::Topology topo = dense_topo(80, 21);
+  vpod::VpodConfig vc;
+  vc.dim = 3;
+  VpodRunner runner(topo, /*use_etx=*/true, vc);
+  runner.enable_reliable_sync();
+  runner.run_to_period(8);  // converge fault-free first
+
+  // Audit late inside the J period: maintenance (plus the adaptive resync)
+  // has refreshed the DT against current positions and the next A period has
+  // not yet resumed moving them, so accuracy measures the protocol rather
+  // than intra-period lag.
+  const auto settle = [&] {
+    runner.simulator().run_until(runner.simulator().now() + vc.join_period_s - 0.5);
+  };
+  settle();
+  InvariantOptions iopts;
+  iopts.pair_samples = 300;
+  iopts.seed = 5;
+  const InvariantReport baseline = audit_invariants(runner, iopts);
+  EXPECT_GE(baseline.routing_success, 0.99);
+  EXPECT_GE(baseline.dt_accuracy, 0.99);
+
+  // Fault storm over the next ~2.5 adjustment periods. A full-window loss
+  // burst keeps control loss >= 25% for the whole storm; the randomized
+  // schedule layers crashes, flaps, extra bursts, duplication, delay spikes,
+  // and one transient partition on top.
+  const sim::Time t0 = runner.simulator().now() + 1.0;
+  sim::ChaosConfig cfg;
+  cfg.t_begin = t0;
+  cfg.t_end = t0 + 65.0;
+  cfg.crash_cycles = 5;
+  cfg.crash_downtime_s = 8.0;
+  cfg.link_flaps = 8;
+  cfg.loss_bursts = 2;
+  cfg.loss_prob = 0.4;
+  cfg.dup_bursts = 2;
+  cfg.delay_spikes = 2;
+  cfg.partitions = 1;
+  cfg.partition_s = 12.0;
+  cfg.protected_node = 0;
+  sim::FaultSchedule schedule =
+      sim::FaultSchedule::random_chaos(cfg, /*seed=*/2025, topo.size(), runner.physical_edges());
+  sim::FaultSchedule sustained_loss;
+  sustained_loss.loss_burst(t0, 65.0, 0.25);
+  schedule.merge(sustained_loss);
+  SCOPED_TRACE(schedule.describe());
+  EXPECT_LE(schedule.quiesce_time(), cfg.t_end);
+  runner.faults().install(schedule);
+
+  InvariantAuditor auditor(runner, iopts);
+  auditor.start(/*period_s=*/13.0, /*until=*/cfg.t_end);
+
+  // Ride through the storm, then give the protocol recovery time: rejoined
+  // nodes need join + maintenance rounds to re-acquire correct DT neighbors,
+  // and positions perturbed by the storm need A periods to settle again.
+  runner.run_to_period(18);
+  settle();
+
+  // Re-convergence is sampled at the quiesce point of several consecutive
+  // periods. Crash victims restart their J/A cycle out of phase when they
+  // rejoin, so they keep adjusting positions during everyone else's J
+  // period; an instantaneous audit therefore flickers on marginal Delaunay
+  // simplices even though repair is complete (a maintenance round with
+  // frozen positions reaches accuracy 1.0). Requiring the best sample to
+  // reach the bar and every sample to stay near it asserts re-convergence
+  // without racing that flicker.
+  std::vector<InvariantReport> recovery;
+  recovery.push_back(audit_invariants(runner, iopts));
+  for (int k = 19; k <= 22; ++k) {
+    runner.run_to_period(k);
+    settle();
+    recovery.push_back(audit_invariants(runner, iopts));
+  }
+
+  // The storm actually happened as specified.
+  const auto& inj = runner.faults();
+  EXPECT_GE(inj.crashes_injected(), 5);
+  EXPECT_EQ(inj.crashes_injected(), inj.recoveries_injected());
+  EXPECT_EQ(inj.partitions_injected(), 1);
+  EXPECT_GE(inj.windows_opened(), 5);
+  EXPECT_GT(runner.net().fault_messages_lost(), 0u);
+  EXPECT_GT(runner.net().messages_duplicated(), 0u);
+  EXPECT_GT(runner.net().messages_expired(), 0u);  // crashes caught messages in flight
+  ASSERT_NE(runner.reliable(), nullptr);
+  EXPECT_GT(runner.reliable()->stats().retransmissions, 0u);  // transport earned its keep
+  EXPECT_GT(runner.reliable()->stats().acked, 0u);
+  EXPECT_FALSE(auditor.history().empty());  // mid-storm audits ran
+
+  // All fault knobs are neutral again after quiesce.
+  EXPECT_DOUBLE_EQ(runner.net().fault_loss(), 0.0);
+  EXPECT_DOUBLE_EQ(runner.net().duplication(), 0.0);
+  EXPECT_DOUBLE_EQ(runner.net().delay_factor(), 1.0);
+
+  // Re-convergence: every node (including the crash victims) is joined again,
+  // the distributed DT matches the centralized one, virtual links are live,
+  // and routing success is back at the fault-free baseline.
+  for (int u = 0; u < topo.size(); ++u)
+    EXPECT_TRUE(runner.protocol().overlay().joined(u)) << "node " << u << " never rejoined";
+  double best_dt = 0.0;
+  double worst_dt = 1.0;
+  double best_liveness = 0.0;
+  for (const InvariantReport& r : recovery) {
+    EXPECT_EQ(r.alive_nodes, topo.size());
+    EXPECT_EQ(r.joined_nodes, topo.size());
+    EXPECT_GE(r.routing_success, baseline.routing_success - 0.005);
+    best_dt = std::max(best_dt, r.dt_accuracy);
+    worst_dt = std::min(worst_dt, r.dt_accuracy);
+    best_liveness = std::max(best_liveness, r.link_liveness);
+  }
+  EXPECT_GE(best_dt, 0.99);    // the DT fully re-converged
+  EXPECT_GE(worst_dt, 0.96);   // and never slid back appreciably
+  EXPECT_GE(best_liveness, 0.99);
+}
+
+TEST(Chaos, PartitionHealsAndBothSidesRouteAgain) {
+  // A single clean partition (no other faults): during the split each side
+  // keeps routing internally; after it heals the MDT stitches back together.
+  const radio::Topology topo = dense_topo(60, 22);
+  vpod::VpodConfig vc;
+  vc.dim = 3;
+  VpodRunner runner(topo, /*use_etx=*/true, vc);
+  runner.enable_reliable_sync();
+  runner.run_to_period(6);
+
+  InvariantOptions iopts;
+  iopts.pair_samples = 250;
+  iopts.seed = 9;
+  const InvariantReport before = audit_invariants(runner, iopts);
+  EXPECT_GE(before.routing_success, 0.99);
+
+  const sim::Time t0 = runner.simulator().now() + 1.0;
+  sim::FaultSchedule schedule;
+  schedule.partition(t0, /*duration=*/20.0, /*fraction=*/0.5);
+  runner.faults().install(schedule);
+
+  // Mid-partition: routing is evaluated over the largest connected component,
+  // so one side must still deliver among itself.
+  runner.simulator().run_until(t0 + 10.0);
+  const InvariantReport during = audit_invariants(runner, iopts);
+  EXPECT_GE(during.routing_success, 0.90);
+
+  runner.run_to_period(12);  // heal + re-converge
+  const InvariantReport after = audit_invariants(runner, iopts);
+  EXPECT_EQ(after.joined_nodes, topo.size());
+  EXPECT_GE(after.dt_accuracy, 0.99);
+  EXPECT_GE(after.routing_success, before.routing_success - 0.005);
+}
+
+}  // namespace
+}  // namespace gdvr::eval

@@ -115,8 +115,9 @@ TEST(Mdt, PhysicalDtNeighborsUseLinkCost) {
   h.maintenance_rounds(3);
   for (int u = 0; u < h.topo.size(); ++u) {
     for (const NeighborView& v : h.overlay->neighbor_views(u)) {
-      if (v.is_phys)
+      if (v.is_phys) {
         EXPECT_DOUBLE_EQ(v.cost, h.topo.etx.link_cost(u, v.id));
+      }
     }
   }
 }

@@ -97,6 +97,80 @@ TEST(Simulator, PendingCount) {
   EXPECT_FALSE(sim.step());
 }
 
+TEST(Simulator, PendingCountsLiveEventsNotTombstones) {
+  Simulator sim;
+  const auto a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);  // the cancelled event no longer counts
+  sim.run_all();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, SlotStorageIsBoundedByPendingNotTotal) {
+  // Regression: callbacks used to accumulate one slot per event *ever*
+  // scheduled, so million-event churn runs grew memory without bound. Slots
+  // must be reclaimed when events fire or are cancelled.
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 1'000'000) sim.schedule_in(0.001, chain);
+  };
+  sim.schedule_in(0.001, chain);
+  sim.run_all();
+  EXPECT_EQ(fired, 1'000'000);
+  // One live event at a time -> a handful of slots, never O(total events).
+  EXPECT_LE(sim.slot_capacity(), 4u);
+  EXPECT_EQ(sim.pending(), 0u);
+
+  // Bursty schedule: capacity tracks the high-water mark of pending events.
+  Simulator burst;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 50; ++i) burst.schedule_in(0.001 * (i + 1), [] {});
+    burst.run_until(burst.now() + 1.0);
+  }
+  EXPECT_EQ(burst.pending(), 0u);
+  EXPECT_LE(burst.slot_capacity(), 64u);  // ~peak pending (50), not 5000
+}
+
+TEST(Simulator, StaleEventIdCannotCancelRecycledSlot) {
+  Simulator sim;
+  bool first = false;
+  bool second = false;
+  const auto a = sim.schedule_at(1.0, [&] { first = true; });
+  sim.run_all();
+  EXPECT_TRUE(first);
+  // The fired event's slot is recycled for the next event; the stale id must
+  // not cancel the new occupant (generation check).
+  const auto b = sim.schedule_at(2.0, [&] { second = true; });
+  EXPECT_NE(a, b);
+  sim.cancel(a);  // stale: no-op
+  sim.run_all();
+  EXPECT_TRUE(second);
+}
+
+TEST(Simulator, CancelReclaimsSlotImmediately) {
+  Simulator sim;
+  std::vector<Simulator::EventId> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(sim.schedule_at(1.0, [] {}));
+  for (auto id : ids) sim.cancel(id);
+  EXPECT_EQ(sim.pending(), 0u);
+  for (int i = 0; i < 100; ++i) sim.schedule_at(2.0, [] {});
+  EXPECT_LE(sim.slot_capacity(), 100u);  // cancelled slots were reused
+  sim.run_all();
+}
+
+TEST(Simulator, InvalidEventIdIsNeverIssuedAndSafeToCancel) {
+  Simulator sim;
+  sim.cancel(Simulator::kInvalidEvent);  // no-op, must not crash
+  bool fired = false;
+  const auto id = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_NE(id, Simulator::kInvalidEvent);
+  sim.run_all();
+  EXPECT_TRUE(fired);
+}
+
 // ---------- NetSim ----------
 
 struct Msg {
@@ -216,6 +290,181 @@ TEST(NetSim, LossModelClampsGoodLinks) {
   sim.run_all();
   EXPECT_EQ(received, 500);
   EXPECT_EQ(net.messages_lost(), 0u);
+}
+
+TEST(NetSim, InFlightMessageExpiresWhenReceiverDies) {
+  Simulator sim;
+  const graph::Graph g = triangle();
+  NetSim<Msg> net(sim, g, 0.1, 0.2, 42);
+  int received = 0;
+  net.set_receiver([&](int, int, Msg) { ++received; });
+  net.send(0, 1, Msg{});
+  net.set_alive(1, false);
+  sim.run_all();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.messages_expired(), 1u);
+}
+
+TEST(NetSim, RejoinedNodeIsNewIncarnation) {
+  // A message in flight when the receiver dies must NOT be delivered to the
+  // node's next incarnation, even if the node rejoins before the message's
+  // scheduled arrival time.
+  Simulator sim;
+  const graph::Graph g = triangle();
+  NetSim<Msg> net(sim, g, 0.1, 0.2, 42);
+  int received = 0;
+  net.set_receiver([&](int, int, Msg) { ++received; });
+
+  const std::uint32_t inc0 = net.incarnation(1);
+  net.send(0, 1, Msg{"to old incarnation"});
+  // Die and rejoin while the message is in flight (delay >= 0.1s).
+  sim.run_until(0.01);
+  net.set_alive(1, false);
+  net.set_alive(1, true);
+  EXPECT_EQ(net.incarnation(1), inc0 + 1);
+  sim.run_all();
+  EXPECT_EQ(received, 0);  // dropped: addressed to the previous incarnation
+  EXPECT_EQ(net.messages_expired(), 1u);
+
+  // The new incarnation receives fresh messages normally.
+  net.send(0, 1, Msg{"to new incarnation"});
+  sim.run_all();
+  EXPECT_EQ(received, 1);
+  // Staying alive does not bump the incarnation.
+  net.set_alive(1, true);
+  EXPECT_EQ(net.incarnation(1), inc0 + 1);
+}
+
+TEST(NetSim, DownedLinkRefusesSendUntilRestored) {
+  Simulator sim;
+  const graph::Graph g = triangle();
+  NetSim<Msg> net(sim, g, 0.1, 0.2, 42);
+  int received = 0;
+  net.set_receiver([&](int, int, Msg) { ++received; });
+
+  EXPECT_TRUE(net.link_usable(0, 1));
+  net.set_link_up(0, 1, false);
+  EXPECT_FALSE(net.link_up(0, 1));
+  EXPECT_FALSE(net.link_up(1, 0));  // both directions share one state
+  EXPECT_FALSE(net.send(0, 1, Msg{}));
+  EXPECT_FALSE(net.send(1, 0, Msg{}));
+  EXPECT_EQ(net.total_messages_sent(), 0u);  // link-layer failure: not counted
+  // Other links are unaffected, and alive_neighbors filters the downed link.
+  EXPECT_TRUE(net.send(1, 2, Msg{}));
+  ASSERT_EQ(net.alive_neighbors(0).size(), 0u);
+  ASSERT_EQ(net.alive_neighbors(1).size(), 1u);
+  EXPECT_EQ(net.alive_neighbors(1)[0].to, 2);
+
+  net.set_link_up(0, 1, true);
+  EXPECT_TRUE(net.send(0, 1, Msg{}));
+  sim.run_all();
+  EXPECT_EQ(received, 2);
+  // Downing a non-existent link is a no-op, not a phantom entry.
+  net.set_link_up(0, 2, false);
+  EXPECT_FALSE(net.link_usable(0, 2));  // still unusable: no physical link
+  EXPECT_TRUE(net.link_up(0, 2));       // but not administratively down
+}
+
+TEST(NetSim, FaultLossDropsAndAccounts) {
+  Simulator sim;
+  graph::Graph g(2);
+  g.add_bidirectional(0, 1, 1.0, 1.0);
+  NetSim<Msg> net(sim, g, 0.001, 0.002, 91);
+  net.set_fault_loss(0.5);
+  int received = 0;
+  net.set_receiver([&](int, int, Msg) { ++received; });
+  const int total = 4000;
+  for (int i = 0; i < total; ++i) net.send(0, 1, Msg{});
+  sim.run_all();
+  EXPECT_EQ(net.total_messages_sent(), static_cast<std::uint64_t>(total));
+  EXPECT_EQ(net.fault_messages_lost(), net.messages_lost());
+  EXPECT_EQ(net.messages_lost() + static_cast<std::uint64_t>(received),
+            static_cast<std::uint64_t>(total));
+  EXPECT_GT(received, total * 2 / 5);  // ~50% delivered
+  EXPECT_LT(received, total * 3 / 5);
+  net.set_fault_loss(0.0);
+  const int before = received;
+  net.send(0, 1, Msg{});
+  sim.run_all();
+  EXPECT_EQ(received, before + 1);
+}
+
+TEST(NetSim, FaultLossStacksWithEtxLoss) {
+  Simulator sim;
+  graph::Graph g(2);
+  g.add_bidirectional(0, 1, 2.0, 2.0);  // ETX 2 -> PRR 0.5
+  NetSim<Msg> net(sim, g, 0.001, 0.002, 92);
+  net.set_loss_from_etx(g);
+  net.set_fault_loss(0.5);
+  int received = 0;
+  net.set_receiver([&](int, int, Msg) { ++received; });
+  const int total = 4000;
+  for (int i = 0; i < total; ++i) net.send(0, 1, Msg{});
+  sim.run_all();
+  // Survives both coins: ~25%.
+  EXPECT_GT(received, total / 5);
+  EXPECT_LT(received, total * 3 / 10);
+  EXPECT_EQ(net.messages_lost() + static_cast<std::uint64_t>(received),
+            static_cast<std::uint64_t>(total));
+  EXPECT_LT(net.fault_messages_lost(), net.messages_lost());  // ETX drops too
+}
+
+TEST(NetSim, DuplicationDeliversTwiceWithIndependentDelays) {
+  Simulator sim;
+  graph::Graph g(2);
+  g.add_bidirectional(0, 1, 1.0, 1.0);
+  NetSim<Msg> net(sim, g, 0.001, 0.002, 93);
+  net.set_duplication(1.0);  // every delivery duplicated
+  int received = 0;
+  net.set_receiver([&](int, int, Msg) { ++received; });
+  for (int i = 0; i < 100; ++i) net.send(0, 1, Msg{});
+  sim.run_all();
+  EXPECT_EQ(received, 200);
+  EXPECT_EQ(net.messages_duplicated(), 100u);
+  EXPECT_EQ(net.total_messages_sent(), 100u);  // duplicates are not "sent"
+}
+
+TEST(NetSim, DelayFactorStretchesDeliveryTimes) {
+  Simulator sim;
+  graph::Graph g(2);
+  g.add_bidirectional(0, 1, 1.0, 1.0);
+  NetSim<Msg> net(sim, g, 0.1, 0.2, 94);
+  std::vector<double> times;
+  net.set_receiver([&](int, int, Msg) { times.push_back(sim.now()); });
+  net.set_delay_factor(10.0);
+  net.send(0, 1, Msg{});
+  net.set_delay_factor(1.0);
+  net.send(0, 1, Msg{});  // sent later, arrives first: reordering
+  sim.run_all();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_GE(times[0], 0.1);   // normal-delay message
+  EXPECT_LT(times[0], 0.2);
+  EXPECT_GE(times[1], 1.0);   // spiked message, 10x delay
+  EXPECT_LT(times[1], 2.0);
+}
+
+TEST(NetSim, FaultKnobsOffPreservesRngStream) {
+  // With every fault knob at its neutral value, the RNG draw sequence must be
+  // identical to a NetSim without fault support -- existing seeded benches
+  // depend on byte-identical delivery schedules.
+  auto run = [](bool touch_knobs) {
+    Simulator sim;
+    const graph::Graph g = triangle();
+    NetSim<Msg> net(sim, g, 0.01, 0.1, 1234);
+    if (touch_knobs) {
+      net.set_fault_loss(0.7);
+      net.set_duplication(0.9);
+      net.set_fault_loss(0.0);  // back to neutral
+      net.set_duplication(0.0);
+      net.set_delay_factor(1.0);
+    }
+    std::vector<double> times;
+    net.set_receiver([&](int, int, Msg) { times.push_back(sim.now()); });
+    for (int i = 0; i < 20; ++i) net.send(0, 1, Msg{});
+    sim.run_all();
+    return times;
+  };
+  EXPECT_EQ(run(false), run(true));
 }
 
 TEST(NetSim, DeterministicDeliveryTimes) {
