@@ -14,6 +14,7 @@
 // calm re-convergence tail.
 #include "common.hpp"
 
+#include "common/parallel.hpp"
 #include "eval/invariants.hpp"
 #include "sim/faults.hpp"
 
@@ -109,8 +110,9 @@ int main(int argc, char** argv) {
   const int pairs = full ? 600 : 250;
   const int n = full ? 200 : 120;
   const radio::Topology topo = paper_topology(n, 4242);
-  std::printf("Fault-intensity ablation | N=%d, ETX metric, 3D%s\n", topo.size(),
-              full ? " [full]" : " [quick]");
+  ParallelTrials pool;
+  std::printf("Fault-intensity ablation | N=%d, ETX metric, 3D%s, %d thread(s)\n", topo.size(),
+              full ? " [full]" : " [quick]", pool.threads());
   std::printf("storm: 50 s of sustained control loss + crash cycles + link flaps\n"
               "(+ duplication, delay spikes, and a partition at higher intensities),\n"
               "identical seeded schedule with the reliable transport on vs off.\n");
@@ -122,17 +124,25 @@ int main(int argc, char** argv) {
       {"severe", 0.60, 6, 10, 1},
   };
 
+  // Each (intensity, transport) cell is an independent seed-deterministic
+  // simulation sharing only the read-only topology, so all eight run in
+  // parallel; printing and aggregation happen after, in intensity order.
+  constexpr int kLevels = static_cast<int>(std::size(levels));
+  const std::vector<Cell> cells = pool.run(kLevels * 2, [&](int t) {
+    return run_cell(topo, levels[t / 2], /*reliable=*/t % 2 == 1, pairs);
+  });
+
   std::vector<double> xs;
   Series joined_mid_off{"unreliable", {}}, joined_mid_on{"reliable", {}};
   Series succ_mid_off{"unreliable", {}}, succ_mid_on{"reliable", {}};
   Series fail_off{"unreliable", {}}, fail_on{"reliable", {}};
   Series succ_late_off{"unreliable", {}}, succ_late_on{"reliable", {}};
   Series retx{"retx per send", {}};
-  int idx = 0;
-  for (const Intensity& in : levels) {
-    const Cell off = run_cell(topo, in, /*reliable=*/false, pairs);
-    const Cell on = run_cell(topo, in, /*reliable=*/true, pairs);
-    xs.push_back(idx++);
+  for (int idx = 0; idx < kLevels; ++idx) {
+    const Intensity& in = levels[idx];
+    const Cell& off = cells[static_cast<std::size_t>(idx * 2)];
+    const Cell& on = cells[static_cast<std::size_t>(idx * 2 + 1)];
+    xs.push_back(idx);
     joined_mid_off.values.push_back(off.joined_mid);
     joined_mid_on.values.push_back(on.joined_mid);
     succ_mid_off.values.push_back(off.success_mid);

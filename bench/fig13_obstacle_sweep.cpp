@@ -2,10 +2,22 @@
 // (0..10) in the 100m x 100m field, N = 200.
 // (a) hop metric: MDT on actual, GDV on VPoD (2D, 3D)
 // (b) ETX: NADV on actual, GDV on VPoD (2D, 3D), optimal shortest path.
+//
+// Each (obstacles, run) pair is an independent seed-deterministic trial, so
+// the sweep fans out over ParallelTrials and aggregates in trial order.
 #include "common.hpp"
+#include "common/parallel.hpp"
 
 using namespace gdvr;
 using namespace gdvr::bench;
+
+namespace {
+
+struct Trial {
+  double m = 0, g2h = 0, g3h = 0, nv = 0, g2e = 0, g3e = 0, opt = 0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const bool full = full_mode(argc, argv);
@@ -14,44 +26,58 @@ int main(int argc, char** argv) {
   const int pairs = full ? 0 : 300;
   const std::vector<int> counts = full ? std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
                                        : std::vector<int>{0, 2, 6, 10};
-  std::printf("Figure 13 | N=200, %d run(s) per point%s\n", runs, full ? " [full]" : " [quick]");
+
+  ParallelTrials pool;
+  std::printf("Figure 13 | N=200, %d run(s) per point%s, %d thread(s)\n", runs,
+              full ? " [full]" : " [quick]", pool.threads());
+
+  const int total = static_cast<int>(counts.size()) * runs;
+  const std::vector<Trial> trials = pool.run(total, [&](int t) {
+    const int obstacles = counts[static_cast<std::size_t>(t / runs)];
+    const int run = t % runs;
+    const auto seed = 1300 + static_cast<std::uint64_t>(obstacles) * 101 +
+                      static_cast<std::uint64_t>(run) * 13;
+    const radio::Topology topo = paper_topology(200, seed, obstacles);
+    eval::EvalOptions hop_opts{pairs, seed, false, {}};
+    eval::EvalOptions etx_opts{pairs, seed, true, {}};
+
+    Trial r;
+    r.m = eval::eval_mdt_actual(topo, hop_opts).stretch;
+    const auto nadv_stats = eval::eval_nadv_actual(topo, etx_opts);
+    r.nv = nadv_stats.transmissions;
+    r.opt = nadv_stats.optimal_transmissions;
+
+    for (int dim : {2, 3}) {
+      const auto hop_pts = run_vpod_series(topo, false, paper_vpod(dim), periods, pairs,
+                                           /*sample_every=*/periods);
+      const auto etx_pts = run_vpod_series(topo, true, paper_vpod(dim), periods, pairs,
+                                           /*sample_every=*/periods);
+      (dim == 2 ? r.g2h : r.g3h) = hop_pts.back().gdv.stretch;
+      (dim == 2 ? r.g2e : r.g3e) = etx_pts.back().gdv.transmissions;
+    }
+    return r;
+  });
 
   std::vector<double> xs;
   Series mdt{"MDT on actual", {}}, gdv2_hop{"GDV VPoD 2D", {}}, gdv3_hop{"GDV VPoD 3D", {}};
   Series nadv{"NADV on actual", {}}, gdv2_etx{"GDV VPoD 2D", {}}, gdv3_etx{"GDV VPoD 3D", {}},
       optimal{"optimal", {}};
 
-  for (int obstacles : counts) {
-    xs.push_back(obstacles);
-    double m = 0, g2h = 0, g3h = 0, nv = 0, g2e = 0, g3e = 0, opt = 0;
+  for (std::size_t ci = 0; ci < counts.size(); ++ci) {
+    xs.push_back(counts[ci]);
+    Trial sum;
     for (int run = 0; run < runs; ++run) {
-      const auto seed = 1300 + static_cast<std::uint64_t>(obstacles) * 101 +
-                        static_cast<std::uint64_t>(run) * 13;
-      const radio::Topology topo = paper_topology(200, seed, obstacles);
-      eval::EvalOptions hop_opts{pairs, seed, false, {}};
-      eval::EvalOptions etx_opts{pairs, seed, true, {}};
-
-      m += eval::eval_mdt_actual(topo, hop_opts).stretch;
-      const auto nadv_stats = eval::eval_nadv_actual(topo, etx_opts);
-      nv += nadv_stats.transmissions;
-      opt += nadv_stats.optimal_transmissions;
-
-      for (int dim : {2, 3}) {
-        const auto hop_pts = run_vpod_series(topo, false, paper_vpod(dim), periods, pairs,
-                                             /*sample_every=*/periods);
-        const auto etx_pts = run_vpod_series(topo, true, paper_vpod(dim), periods, pairs,
-                                             /*sample_every=*/periods);
-        (dim == 2 ? g2h : g3h) += hop_pts.back().gdv.stretch;
-        (dim == 2 ? g2e : g3e) += etx_pts.back().gdv.transmissions;
-      }
+      const Trial& r = trials[ci * static_cast<std::size_t>(runs) + static_cast<std::size_t>(run)];
+      sum.m += r.m; sum.g2h += r.g2h; sum.g3h += r.g3h;
+      sum.nv += r.nv; sum.g2e += r.g2e; sum.g3e += r.g3e; sum.opt += r.opt;
     }
-    mdt.values.push_back(m / runs);
-    gdv2_hop.values.push_back(g2h / runs);
-    gdv3_hop.values.push_back(g3h / runs);
-    nadv.values.push_back(nv / runs);
-    gdv2_etx.values.push_back(g2e / runs);
-    gdv3_etx.values.push_back(g3e / runs);
-    optimal.values.push_back(opt / runs);
+    mdt.values.push_back(sum.m / runs);
+    gdv2_hop.values.push_back(sum.g2h / runs);
+    gdv3_hop.values.push_back(sum.g3h / runs);
+    nadv.values.push_back(sum.nv / runs);
+    gdv2_etx.values.push_back(sum.g2e / runs);
+    gdv3_etx.values.push_back(sum.g3e / runs);
+    optimal.values.push_back(sum.opt / runs);
   }
 
   print_table("Fig 13(a): routing stretch vs obstacles (hop count)", "obstacles", xs,

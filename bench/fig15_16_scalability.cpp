@@ -5,9 +5,15 @@
 //   Fig 15(b) transmissions vs N (ETX)    (NADV, GDV on VPoD 2D/3D, optimal)
 //   Fig 16(a) storage cost vs N           (NADV, MDT, GDV on VPoD 2D/3D)
 //   Fig 16(b) routing success rate vs N   (GDV on VPoD/MDT, NADV)
+//
+// Every (N, run) pair is an independent trial with its own Simulator, so the
+// sweep fans out over ParallelTrials; per-trial seeds depend only on (N, run)
+// and results aggregate in trial order, keeping the output identical to a
+// sequential run.
 #include <set>
 
 #include "common.hpp"
+#include "common/parallel.hpp"
 #include "routing/mdt_view.hpp"
 
 using namespace gdvr;
@@ -33,6 +39,12 @@ double mdt_actual_storage(const radio::Topology& topo) {
   return total / topo.size();
 }
 
+// Everything one (N, run) trial contributes to the four panels.
+struct Trial {
+  double ms = 0, g2s = 0, g3s = 0, nt = 0, g2t = 0, g3t = 0, ot = 0;
+  double nst = 0, mst = 0, g2st = 0, g3st = 0, gsr = 0, nsr = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -43,8 +55,47 @@ int main(int argc, char** argv) {
   const std::vector<int> sizes = full
       ? std::vector<int>{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
       : std::vector<int>{100, 200, 400, 1000};
-  std::printf("Figures 15-16 | avg degree kept at 14.5, %d run(s) per point%s\n", runs,
-              full ? " [full]" : " [quick]");
+
+  ParallelTrials pool;
+  std::printf("Figures 15-16 | avg degree kept at 14.5, %d run(s) per point%s, %d thread(s)\n",
+              runs, full ? " [full]" : " [quick]", pool.threads());
+
+  const int total = static_cast<int>(sizes.size()) * runs;
+  const std::vector<Trial> trials = pool.run(total, [&](int t) {
+    const int n = sizes[static_cast<std::size_t>(t / runs)];
+    const int run = t % runs;
+    const auto seed = 1500 + static_cast<std::uint64_t>(n) * 7 +
+                      static_cast<std::uint64_t>(run) * 17;
+    const radio::Topology topo = paper_topology(n, seed);
+    eval::EvalOptions hop_opts{pairs, seed, false, {}};
+    eval::EvalOptions etx_opts{pairs, seed, true, {}};
+
+    Trial r;
+    r.ms = eval::eval_mdt_actual(topo, hop_opts).stretch;
+    const auto nadv_hop = eval::eval_nadv_actual(topo, hop_opts);
+    const auto nadv_etx = eval::eval_nadv_actual(topo, etx_opts);
+    r.nt = nadv_etx.transmissions;
+    r.ot = nadv_etx.optimal_transmissions;
+    r.nsr = nadv_hop.success_rate;
+    r.nst = topo.hops.average_degree();
+    r.mst = mdt_actual_storage(topo);
+
+    for (int dim : {2, 3}) {
+      // Hop-metric run (stretch, success, storage measured here).
+      eval::VpodRunner hop_runner(topo, false, paper_vpod(dim));
+      hop_runner.run_to_period(periods);
+      const auto hop_stats = eval::eval_gdv(hop_runner.snapshot(), topo, hop_opts);
+      (dim == 2 ? r.g2s : r.g3s) = hop_stats.stretch;
+      (dim == 2 ? r.g2st : r.g3st) = hop_runner.avg_storage();
+      if (dim == 3) r.gsr = hop_stats.success_rate;
+      // ETX-metric run.
+      eval::VpodRunner etx_runner(topo, true, paper_vpod(dim));
+      etx_runner.run_to_period(periods);
+      (dim == 2 ? r.g2t : r.g3t) =
+          eval::eval_gdv(etx_runner.snapshot(), topo, etx_opts).transmissions;
+    }
+    return r;
+  });
 
   std::vector<double> xs;
   Series mdt_stretch{"MDT on actual", {}}, g2_stretch{"GDV VPoD 2D", {}},
@@ -55,54 +106,29 @@ int main(int argc, char** argv) {
       g3_st{"GDV VPoD 3D", {}};
   Series gdv_sr{"GDV on VPoD/MDT", {}}, nadv_sr{"NADV on actual", {}};
 
-  for (int n : sizes) {
-    xs.push_back(n);
-    double ms = 0, g2s = 0, g3s = 0, nt = 0, g2t = 0, g3t = 0, ot = 0;
-    double nst = 0, mst = 0, g2st = 0, g3st = 0, gsr = 0, nsr = 0;
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    xs.push_back(sizes[si]);
+    Trial sum;
     for (int run = 0; run < runs; ++run) {
-      const auto seed = 1500 + static_cast<std::uint64_t>(n) * 7 +
-                        static_cast<std::uint64_t>(run) * 17;
-      const radio::Topology topo = paper_topology(n, seed);
-      eval::EvalOptions hop_opts{pairs, seed, false, {}};
-      eval::EvalOptions etx_opts{pairs, seed, true, {}};
-
-      ms += eval::eval_mdt_actual(topo, hop_opts).stretch;
-      const auto nadv_hop = eval::eval_nadv_actual(topo, hop_opts);
-      const auto nadv_etx = eval::eval_nadv_actual(topo, etx_opts);
-      nt += nadv_etx.transmissions;
-      ot += nadv_etx.optimal_transmissions;
-      nsr += nadv_hop.success_rate;
-      nst += topo.hops.average_degree();
-      mst += mdt_actual_storage(topo);
-
-      for (int dim : {2, 3}) {
-        // Hop-metric run (stretch, success, storage measured here).
-        eval::VpodRunner hop_runner(topo, false, paper_vpod(dim));
-        hop_runner.run_to_period(periods);
-        const auto hop_stats = eval::eval_gdv(hop_runner.snapshot(), topo, hop_opts);
-        (dim == 2 ? g2s : g3s) += hop_stats.stretch;
-        (dim == 2 ? g2st : g3st) += hop_runner.avg_storage();
-        if (dim == 3) gsr += hop_stats.success_rate;
-        // ETX-metric run.
-        eval::VpodRunner etx_runner(topo, true, paper_vpod(dim));
-        etx_runner.run_to_period(periods);
-        (dim == 2 ? g2t : g3t) +=
-            eval::eval_gdv(etx_runner.snapshot(), topo, etx_opts).transmissions;
-      }
+      const Trial& r = trials[si * static_cast<std::size_t>(runs) + static_cast<std::size_t>(run)];
+      sum.ms += r.ms; sum.g2s += r.g2s; sum.g3s += r.g3s;
+      sum.nt += r.nt; sum.g2t += r.g2t; sum.g3t += r.g3t; sum.ot += r.ot;
+      sum.nst += r.nst; sum.mst += r.mst; sum.g2st += r.g2st; sum.g3st += r.g3st;
+      sum.gsr += r.gsr; sum.nsr += r.nsr;
     }
-    mdt_stretch.values.push_back(ms / runs);
-    g2_stretch.values.push_back(g2s / runs);
-    g3_stretch.values.push_back(g3s / runs);
-    nadv_tx.values.push_back(nt / runs);
-    g2_tx.values.push_back(g2t / runs);
-    g3_tx.values.push_back(g3t / runs);
-    opt_tx.values.push_back(ot / runs);
-    nadv_st.values.push_back(nst / runs);
-    mdt_st.values.push_back(mst / runs);
-    g2_st.values.push_back(g2st / runs);
-    g3_st.values.push_back(g3st / runs);
-    gdv_sr.values.push_back(gsr / runs);
-    nadv_sr.values.push_back(nsr / runs);
+    mdt_stretch.values.push_back(sum.ms / runs);
+    g2_stretch.values.push_back(sum.g2s / runs);
+    g3_stretch.values.push_back(sum.g3s / runs);
+    nadv_tx.values.push_back(sum.nt / runs);
+    g2_tx.values.push_back(sum.g2t / runs);
+    g3_tx.values.push_back(sum.g3t / runs);
+    opt_tx.values.push_back(sum.ot / runs);
+    nadv_st.values.push_back(sum.nst / runs);
+    mdt_st.values.push_back(sum.mst / runs);
+    g2_st.values.push_back(sum.g2st / runs);
+    g3_st.values.push_back(sum.g3st / runs);
+    gdv_sr.values.push_back(sum.gsr / runs);
+    nadv_sr.values.push_back(sum.nsr / runs);
   }
 
   print_table("Fig 15(a): routing stretch vs N (hop count)", "N", xs,

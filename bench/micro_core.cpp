@@ -5,6 +5,7 @@
 
 #include "analysis/embedding.hpp"
 #include "analysis/svd.hpp"
+#include "common.hpp"
 #include "common/rng.hpp"
 #include "geom/delaunay.hpp"
 #include "geom/predicates.hpp"
@@ -46,6 +47,59 @@ BENCHMARK(BM_DelaunayGraph)
     ->Args({100, 2})
     ->Args({100, 3})
     ->Args({200, 3});
+
+// Point location in isolation: one conflict-seed query against a prebuilt
+// triangulation. kWalk is the hint-seeded visibility walk; kLinearScan is the
+// original exhaustive scan it replaced.
+void BM_DelaunayLocate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int dim = static_cast<int>(state.range(1));
+  const bool walk = state.range(2) != 0;
+  const auto pts = random_points(n, dim, 42);
+  geom::Triangulation tri;
+  if (!tri.build(pts)) {
+    state.SkipWithError("triangulation build failed");
+    return;
+  }
+  tri.set_locate_mode(walk ? geom::Triangulation::LocateMode::kWalk
+                           : geom::Triangulation::LocateMode::kLinearScan);
+  const auto queries = random_points(256, dim, 43);
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tri.locate_conflict(queries[qi]));
+    qi = (qi + 1) % queries.size();
+  }
+  state.SetLabel(std::string(walk ? "walk" : "linear") + " n=" + std::to_string(n) +
+                 " dim=" + std::to_string(dim));
+}
+BENCHMARK(BM_DelaunayLocate)
+    ->Args({100, 2, 1})
+    ->Args({100, 2, 0})
+    ->Args({200, 3, 1})
+    ->Args({200, 3, 0});
+
+// One full maintenance round (adjustment period) of a converged 120-node
+// VPoD/MDT network: position sampling, neighbor-set sync, and every
+// MdtOverlay::recompute the round triggers. The recompute memo cache is
+// exercised in situ; the hit rate over the measured rounds is reported as a
+// counter.
+void BM_MdtMaintenanceRound(benchmark::State& state) {
+  static eval::VpodRunner* runner = [] {
+    static radio::Topology topo = bench::paper_topology(120, 4242);
+    auto* r = new eval::VpodRunner(topo, /*use_etx=*/true, bench::paper_vpod(3));
+    r->run_to_period(10);  // converge before measuring
+    return r;
+  }();
+  static int k = 10;
+  const auto before = runner->protocol().overlay().recompute_stats();
+  for (auto _ : state) runner->run_to_period(++k);
+  const auto after = runner->protocol().overlay().recompute_stats();
+  const double calls = static_cast<double>(after.calls - before.calls);
+  if (calls > 0)
+    state.counters["recompute_hit_rate"] =
+        1.0 - static_cast<double>(after.rebuilds - before.rebuilds) / calls;
+}
+BENCHMARK(BM_MdtMaintenanceRound)->Unit(benchmark::kMillisecond);
 
 void BM_InSpherePredicate(benchmark::State& state) {
   const int dim = static_cast<int>(state.range(0));

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Release-build the microbenchmark suite and write a JSON snapshot to
+# BENCH_core.json at the repo root. Commit the refreshed snapshot alongside
+# performance work so regressions show up in review diffs.
+#
+#   scripts/bench.sh                 # full suite, BENCH_core.json
+#   scripts/bench.sh --quick         # fast smoke pass, no JSON rewrite
+#   scripts/bench.sh --filter REGEX  # subset, no JSON rewrite
+#
+# Build directory: build-rel/ (Release; created on demand, reused).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+FILTER=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) QUICK=1; shift ;;
+    --filter) FILTER="$2"; shift 2 ;;
+    *) echo "usage: scripts/bench.sh [--quick] [--filter REGEX]" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+cmake -S . -B build-rel -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-rel -j "$JOBS" --target micro_core
+
+# NB: this benchmark version wants a plain double for --benchmark_min_time
+# (no "s" suffix).
+ARGS=(--benchmark_min_time=0.05)
+if [[ "$QUICK" == 1 ]]; then
+  ARGS=(--benchmark_min_time=0.01)
+elif [[ -z "$FILTER" ]]; then
+  ARGS+=(--benchmark_out=BENCH_core.json --benchmark_out_format=json)
+fi
+[[ -n "$FILTER" ]] && ARGS+=(--benchmark_filter="$FILTER")
+
+./build-rel/bench/micro_core "${ARGS[@]}"
+[[ "$QUICK" == 0 && -z "$FILTER" ]] && echo "wrote BENCH_core.json"

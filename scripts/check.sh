@@ -4,14 +4,19 @@
 #
 #   scripts/check.sh            # tier-1 + chaos + both sanitizers
 #   scripts/check.sh --quick    # tier-1 only (what CI runs on every push)
+#   scripts/check.sh --release  # tier-1 in a Release tree + benchmark smoke
+#                               # run, so optimization-level-only bugs and
+#                               # bench bit-rot surface before perf work lands
 #
-# Build directories: build/ (plain), build-asan/, build-ubsan/. They are
-# created on demand and reused across runs.
+# Build directories: build/ (plain), build-asan/, build-ubsan/, build-rel/
+# (--release). They are created on demand and reused across runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
+RELEASE=0
 [[ "${1:-}" == "--quick" ]] && QUICK=1
+[[ "${1:-}" == "--release" ]] && RELEASE=1
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
@@ -20,6 +25,17 @@ configure_and_build() {
   cmake -S . -B "$dir" -DGDVR_WERROR=ON "$@" >/dev/null
   cmake --build "$dir" -j "$JOBS"
 }
+
+if [[ "$RELEASE" == 1 ]]; then
+  echo "== tier-1 (Release build) =="
+  configure_and_build build-rel -DCMAKE_BUILD_TYPE=Release
+  ctest --test-dir build-rel -LE chaos --output-on-failure -j "$JOBS"
+  echo "== benchmark smoke run (Release) =="
+  # Plain double: this benchmark version rejects a "0.01s" suffix.
+  ./build-rel/bench/micro_core --benchmark_min_time=0.01
+  echo "release checks passed"
+  exit 0
+fi
 
 echo "== tier-1 (plain build) =="
 configure_and_build build

@@ -55,8 +55,9 @@ EmbeddingQuality embedding_quality(std::span<const Vec> positions, const Matrix&
 Matrix cost_matrix(const graph::Graph& g) {
   const int n = g.size();
   Matrix m(n, n);
+  graph::DijkstraWorkspace ws;
   for (int src = 0; src < n; ++src) {
-    const auto sp = graph::dijkstra(g, src);
+    const auto& sp = graph::dijkstra(g, src, ws);
     for (int dst = 0; dst < n; ++dst) m.at(src, dst) = sp.dist[static_cast<std::size_t>(dst)];
   }
   return m;

@@ -1,0 +1,89 @@
+// Deterministic thread-pool for embarrassingly parallel trials.
+//
+// Every sweep in bench/ runs many independent trials (one Simulator + NetSim
+// per (parameter, run) pair) and aggregates per-trial metrics. ParallelTrials
+// fans those trials out over a fixed set of worker threads while preserving
+// the determinism contract the figures rely on:
+//
+//  * each trial derives everything (topology seed, protocol seeds) from its
+//    own index, never from shared mutable state or scheduling order;
+//  * results land in a vector indexed by trial, so the output is bit-identical
+//    to a sequential run no matter how the OS interleaves workers;
+//  * aggregation happens on the caller's thread after run() returns.
+//
+// Trials must not touch shared mutable state. Everything reachable from a
+// trial function must be const or trial-local (radio::Topology and its
+// metric graphs are read-only once built).
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace gdvr {
+
+class ParallelTrials {
+ public:
+  // threads <= 0 selects automatically: the GDVR_THREADS environment
+  // variable if set, otherwise the hardware concurrency. One thread (or a
+  // single-CPU machine) degrades to plain sequential execution in the
+  // calling thread.
+  explicit ParallelTrials(int threads = 0) {
+    if (threads <= 0) {
+      if (const char* env = std::getenv("GDVR_THREADS")) threads = std::atoi(env);
+      if (threads <= 0) threads = static_cast<int>(std::thread::hardware_concurrency());
+      if (threads <= 0) threads = 1;
+    }
+    threads_ = threads;
+  }
+
+  int threads() const { return threads_; }
+
+  // Runs fn(0), fn(1), ..., fn(count - 1) across the workers and returns the
+  // results in index order. The result type must be default-constructible
+  // and movable. If any trial throws, the first exception (by completion
+  // order) is rethrown after all workers drain.
+  template <typename Fn>
+  auto run(int count, Fn&& fn) -> std::vector<decltype(fn(0))> {
+    using R = decltype(fn(0));
+    std::vector<R> results(static_cast<std::size_t>(count));
+    if (count <= 0) return results;
+
+    if (threads_ <= 1) {
+      for (int i = 0; i < count; ++i) results[static_cast<std::size_t>(i)] = fn(i);
+      return results;
+    }
+
+    std::atomic<int> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    auto worker = [&] {
+      for (;;) {
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        try {
+          results[static_cast<std::size_t>(i)] = fn(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    const int nw = std::min(threads_, count);
+    pool.reserve(static_cast<std::size_t>(nw));
+    for (int t = 0; t < nw; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+    return results;
+  }
+
+ private:
+  int threads_ = 1;
+};
+
+}  // namespace gdvr

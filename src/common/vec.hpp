@@ -87,9 +87,20 @@ class Vec {
   double norm2() const { return dot(*this); }
   double norm() const { return std::sqrt(norm2()); }
 
-  // Euclidean distance to another point of the same dimension.
-  double distance(const Vec& o) const { return (*this - o).norm(); }
-  double distance2(const Vec& o) const { return (*this - o).norm2(); }
+  // Euclidean distance to another point of the same dimension. Computed as a
+  // raw loop: these sit on every in-conflict test and greedy-forwarding
+  // decision, and going through operator- would construct a temporary Vec
+  // (kMaxDim doubles) per call.
+  double distance2(const Vec& o) const {
+    GDVR_ASSERT(dim_ == o.dim_);
+    double s = 0.0;
+    for (int i = 0; i < dim_; ++i) {
+      const double d = c_[static_cast<std::size_t>(i)] - o.c_[static_cast<std::size_t>(i)];
+      s += d * d;
+    }
+    return s;
+  }
+  double distance(const Vec& o) const { return std::sqrt(distance2(o)); }
 
   // Unit vector in this direction; if the vector is (near) zero, returns a
   // deterministic unit vector along the first axis so callers never divide

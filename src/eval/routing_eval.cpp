@@ -66,6 +66,7 @@ RoutingStats evaluate_router(const RouteFn& route, const graph::Graph& metric,
   // transmissions).
   std::map<int, std::vector<int>> hop_cache;
   std::map<int, std::vector<double>> etx_cache;
+  graph::DijkstraWorkspace dijkstra_ws;
 
   double stretch_sum = 0.0, tx_sum = 0.0, opt_sum = 0.0;
   int delivered = 0, opt_count = 0;
@@ -74,7 +75,7 @@ RoutingStats evaluate_router(const RouteFn& route, const graph::Graph& metric,
     if (use_etx) {
       auto it = etx_cache.find(s);
       if (it == etx_cache.end())
-        it = etx_cache.emplace(s, graph::dijkstra(metric, s).dist).first;
+        it = etx_cache.emplace(s, graph::dijkstra(metric, s, dijkstra_ws).dist).first;
       const double opt = it->second[static_cast<std::size_t>(t)];
       if (opt < graph::kInf) {
         opt_sum += opt;

@@ -1,7 +1,6 @@
 #include "geom/delaunay.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "common/log.hpp"
 #include "geom/predicates.hpp"
@@ -41,15 +40,82 @@ using FacetKey = std::array<int, 12>;
 
 FacetKey facet_key(const Triangulation::Cell& c, int skip, int dim) {
   FacetKey key;
-  key.fill(INT32_MAX);
   int w = 0;
-  for (int i = 0; i <= dim; ++i)
-    if (i != skip) key[static_cast<std::size_t>(w++)] = c.v[static_cast<std::size_t>(i)];
-  std::sort(key.begin(), key.begin() + dim);
+  // Insertion sort while filling: facets have at most 12 vertices, where this
+  // beats std::sort and the full-array fill it would require.
+  for (int i = 0; i <= dim; ++i) {
+    if (i == skip) continue;
+    const int x = c.v[static_cast<std::size_t>(i)];
+    int j = w++;
+    while (j > 0 && key[static_cast<std::size_t>(j - 1)] > x) {
+      key[static_cast<std::size_t>(j)] = key[static_cast<std::size_t>(j - 1)];
+      --j;
+    }
+    key[static_cast<std::size_t>(j)] = x;
+  }
   return key;
 }
 
+std::uint64_t facet_hash(const FacetKey& key, int dim) {
+  std::uint64_t h = 0x243F6A8885A308D3ull;
+  for (int i = 0; i < dim; ++i)
+    h = splitmix(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(key[static_cast<std::size_t>(i)])));
+  return h;
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// FacetTable
+
+void Triangulation::FacetTable::reset(int dim, std::size_t expected_entries) {
+  dim_ = dim;
+  std::size_t want = 16;
+  while (want < expected_entries * 2 + 2) want <<= 1;
+  if (slots_.size() < want) {
+    slots_.assign(want, Slot{});
+    epoch_ = 0;
+  }
+  mask_ = slots_.size() - 1;
+  ++epoch_;
+  live_ = 0;
+}
+
+bool Triangulation::FacetTable::match_or_insert(const FacetKey& key, int cell, int facet,
+                                                int* other_cell, int* other_facet) {
+  std::size_t i = facet_hash(key, dim_) & mask_;
+  std::size_t insert_at = slots_.size();  // first reusable slot seen while probing
+  for (;; i = (i + 1) & mask_) {
+    Slot& s = slots_[i];
+    if (s.stamp != epoch_) {
+      // Empty for this use: key is absent.
+      if (insert_at == slots_.size()) insert_at = i;
+      break;
+    }
+    if (s.tombstone) {
+      if (insert_at == slots_.size()) insert_at = i;
+      continue;
+    }
+    if (std::equal(s.key.begin(), s.key.begin() + dim_, key.begin())) {
+      *other_cell = s.cell;
+      *other_facet = s.facet;
+      s.tombstone = true;
+      --live_;
+      return true;
+    }
+  }
+  Slot& s = slots_[insert_at];
+  s.key = key;
+  s.cell = cell;
+  s.facet = facet;
+  s.stamp = epoch_;
+  s.tombstone = false;
+  ++live_;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Triangulation
 
 bool DelaunayGraph::has_edge(int u, int v) const {
   const auto& n = nbrs[static_cast<std::size_t>(u)];
@@ -83,12 +149,15 @@ bool Triangulation::init_first_simplex(std::vector<int>& chosen) {
 
 bool Triangulation::in_conflict(const Cell& c, const Vec& p) const {
   const int inf = infinite_index(c);
-  std::array<Vec, kMaxVerts> verts;
   if (inf < 0) {
-    // Cached circumsphere: one squared-distance comparison.
+    // Cached circumsphere: one squared-distance comparison. Raw pointers:
+    // operator[] bounds-checks stay active in release builds by design, and
+    // this loop runs for every flood/walk step.
+    const double* pc = p.coords().data();
+    const double* cc = c.center.coords().data();
     double d2 = 0.0;
     for (int i = 0; i < dim_; ++i) {
-      const double diff = p[i] - c.center[i];
+      const double diff = pc[i] - cc[i];
       d2 += diff * diff;
     }
     return d2 < c.radius2;
@@ -96,6 +165,7 @@ bool Triangulation::in_conflict(const Cell& c, const Vec& p) const {
   // Infinite cell: conflict iff p lies strictly on the outer side of the
   // hull facet F, or on F's hyperplane but inside the circumsphere of the
   // adjacent finite cell.
+  std::array<Vec, kMaxVerts>& verts = vert_scratch_;
   int w = 0;
   for (int i = 0; i <= dim_; ++i)
     if (i != inf)
@@ -127,11 +197,107 @@ bool Triangulation::in_conflict(const Cell& c, const Vec& p) const {
 
 bool Triangulation::cache_circumsphere(Cell& c) {
   if (infinite_index(c) >= 0) return true;  // infinite cells need no sphere
-  std::array<Vec, kMaxVerts> verts;
+  std::array<Vec, kMaxVerts>& verts = vert_scratch_;
   for (int i = 0; i <= dim_; ++i)
     verts[static_cast<std::size_t>(i)] =
         pts_[static_cast<std::size_t>(c.v[static_cast<std::size_t>(i)])];
   return circumsphere({verts.data(), static_cast<std::size_t>(dim_ + 1)}, c.center, c.radius2);
+}
+
+double Triangulation::cell_orient(const Cell& c, int replace, const Vec& q) const {
+  // Rows of the orientation matrix: (w_i - w_0) for i = 1..dim, where w_k is
+  // either the cell's k-th vertex or q. Flat stack buffer, no temporaries.
+  const double* w[kMaxVerts];
+  for (int i = 0; i <= dim_; ++i) {
+    if (i == replace)
+      w[static_cast<std::size_t>(i)] = q.coords().data();
+    else
+      w[static_cast<std::size_t>(i)] =
+          pts_[static_cast<std::size_t>(c.v[static_cast<std::size_t>(i)])].coords().data();
+  }
+  double buf[12 * 12];
+  for (int r = 0; r < dim_; ++r)
+    for (int col = 0; col < dim_; ++col)
+      buf[r * dim_ + col] = w[static_cast<std::size_t>(r + 1)][col] - w[0][col];
+  return det_inplace(buf, dim_);
+}
+
+int Triangulation::locate_linear(const Vec& q) const {
+  for (std::size_t ci = 0; ci < cells_.size(); ++ci)
+    if (cells_[ci].alive && in_conflict(cells_[ci], q)) return static_cast<int>(ci);
+  return -1;
+}
+
+int Triangulation::locate_walk(const Vec& q) {
+  int cur = hint_;
+  if (cur < 0 || !cells_[static_cast<std::size_t>(cur)].alive) {
+    for (std::size_t ci = 0; ci < cells_.size(); ++ci)
+      if (cells_[ci].alive) {
+        cur = static_cast<int>(ci);
+        break;
+      }
+  }
+  if (cur < 0) return -1;
+
+  // Remembering visibility walk: step across any facet whose hyperplane
+  // strictly separates q from the cell, never stepping straight back. On a
+  // Delaunay triangulation the visibility walk cannot cycle; the step cap
+  // and every degenerate branch fall back to the exhaustive scan, which is
+  // always correct.
+  int prev = -1;
+  const int max_steps = static_cast<int>(cells_.size()) + 16;
+  for (int step = 0; step < max_steps; ++step) {
+    const Cell& c = cells_[static_cast<std::size_t>(cur)];
+    if (in_conflict(c, q)) return cur;
+    const int inf = infinite_index(c);
+    if (inf >= 0) {
+      // Non-conflicting infinite cell: q is on the inner side of this hull
+      // facet; re-enter the triangulation through the adjacent finite cell.
+      const int nb = c.nbr[static_cast<std::size_t>(inf)];
+      if (nb < 0 || nb == prev) break;
+      prev = cur;
+      cur = nb;
+      continue;
+    }
+    const double oc = cell_orient(c, -1, q);
+    if (oc == 0.0) break;  // degenerate sliver: let the scan decide
+    int next = -1;
+    for (int i = 0; i <= dim_; ++i) {
+      // Rotate the facet scan origin with the step count so a numerically
+      // ambiguous pair of facets cannot trap the walk in a 2-cycle.
+      const int k = (i + step) % (dim_ + 1);
+      const int nb = c.nbr[static_cast<std::size_t>(k)];
+      if (nb < 0 || nb == prev) continue;
+      const double oq = cell_orient(c, k, q);
+      if ((oq > 0.0) != (oc > 0.0) && oq != 0.0) {
+        next = nb;
+        break;
+      }
+    }
+    if (next < 0) break;  // inside the cell yet outside its sphere: impossible unless degenerate
+    prev = cur;
+    cur = next;
+  }
+  ++walk_fallbacks_;
+  return -1;
+}
+
+int Triangulation::locate_conflict(const Vec& q) {
+  if (locate_mode_ == LocateMode::kWalk) {
+    const int seed = locate_walk(q);
+    if (seed >= 0) return seed;
+  }
+  return locate_linear(q);
+}
+
+int Triangulation::alloc_cell() {
+  if (!free_cells_.empty()) {
+    const int id = free_cells_.back();
+    free_cells_.pop_back();
+    return id;
+  }
+  cells_.emplace_back();
+  return static_cast<int>(cells_.size()) - 1;
 }
 
 bool Triangulation::build(std::span<const Vec> points) {
@@ -149,6 +315,13 @@ bool Triangulation::build(std::span<const Vec> points) {
     for (int c = 0; c < dim_; ++c) pts_[i][c] += mag * jitter_unit(jitter_seed_, i, c);
 
   cells_.clear();
+  // Live complex size is roughly linear in n (about 7n tetrahedra in 3D);
+  // reserving avoids reallocation copies of the fat Cell structs mid-build.
+  cells_.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(4 * dim_) + 64);
+  free_cells_.clear();
+  mark_.clear();
+  mark_epoch_ = 0;
+  hint_ = -1;
   std::vector<int> chosen;
   if (!init_first_simplex(chosen)) return false;
 
@@ -169,24 +342,20 @@ bool Triangulation::build(std::span<const Vec> points) {
       cells_.push_back(inf);
     }
     // Wire adjacency by matching facets (sorted vertex tuples).
-    std::map<FacetKey, std::pair<int, int>> open_facets;
+    facets_.reset(dim_, cells_.size() * static_cast<std::size_t>(dim_ + 1));
     for (int ci = 0; ci < static_cast<int>(cells_.size()); ++ci) {
-      Cell& c = cells_[static_cast<std::size_t>(ci)];
       for (int k = 0; k <= dim_; ++k) {
-        const FacetKey key = facet_key(c, k, dim_);
-        auto it = open_facets.find(key);
-        if (it == open_facets.end()) {
-          open_facets.emplace(key, std::make_pair(ci, k));
-        } else {
-          const auto [cj, kj] = it->second;
-          c.nbr[static_cast<std::size_t>(k)] = cj;
+        const FacetKey key = facet_key(cells_[static_cast<std::size_t>(ci)], k, dim_);
+        int cj = -1, kj = -1;
+        if (facets_.match_or_insert(key, ci, k, &cj, &kj)) {
+          cells_[static_cast<std::size_t>(ci)].nbr[static_cast<std::size_t>(k)] = cj;
           cells_[static_cast<std::size_t>(cj)].nbr[static_cast<std::size_t>(kj)] = ci;
-          open_facets.erase(it);
         }
       }
     }
-    if (!open_facets.empty()) return false;
+    if (!facets_.empty()) return false;
   }
+  hint_ = 0;
 
   // Insert the remaining points.
   std::vector<char> is_chosen(static_cast<std::size_t>(n), 0);
@@ -201,90 +370,125 @@ bool Triangulation::build(std::span<const Vec> points) {
 bool Triangulation::insert(int p) {
   const Vec& q = pts_[static_cast<std::size_t>(p)];
 
-  // Conflict region: linear scan over alive cells. Candidate sets in the MDT
-  // protocols are tens of points, and centralized builds are offline, so the
-  // simplicity/robustness of a full scan beats a walk here.
-  std::vector<char> conflict(cells_.size(), 0);
-  bool any = false;
-  for (std::size_t ci = 0; ci < cells_.size(); ++ci) {
-    if (!cells_[ci].alive) continue;
-    if (in_conflict(cells_[ci], q)) {
-      conflict[ci] = 1;
-      any = true;
+  // Conflict region: one seed cell from the walk (or the exhaustive scan),
+  // then a BFS flood over cell adjacency -- the conflict region of a point
+  // is connected, so the flood collects all of it. Marks, queue and created
+  // list are scratch reused across inserts.
+  const int seed = locate_conflict(q);
+  if (seed < 0) return false;
+  if (mark_.size() < cells_.size()) mark_.resize(cells_.size(), 0);
+  ++mark_epoch_;
+  conflict_.clear();
+  conflict_.push_back(seed);
+  mark_[static_cast<std::size_t>(seed)] = mark_epoch_;
+  for (std::size_t i = 0; i < conflict_.size(); ++i) {
+    const Cell& c = cells_[static_cast<std::size_t>(conflict_[i])];
+    for (int k = 0; k <= dim_; ++k) {
+      const int nb = c.nbr[static_cast<std::size_t>(k)];
+      if (nb < 0 || mark_[static_cast<std::size_t>(nb)] == mark_epoch_) continue;
+      if (in_conflict(cells_[static_cast<std::size_t>(nb)], q)) {
+        mark_[static_cast<std::size_t>(nb)] = mark_epoch_;
+        conflict_.push_back(nb);
+      }
     }
   }
-  if (!any) return false;
+  if (locate_mode_ == LocateMode::kLinearScan) {
+    // Reference kernel: the scan marks every conflicting cell, flood or not.
+    for (std::size_t ci = 0; ci < cells_.size(); ++ci) {
+      if (!cells_[ci].alive || mark_[ci] == mark_epoch_) continue;
+      if (in_conflict(cells_[ci], q)) {
+        mark_[ci] = mark_epoch_;
+        conflict_.push_back(static_cast<int>(ci));
+      }
+    }
+  }
 
-  // Build one new cell per boundary facet of the conflict region.
-  std::vector<int> created;
-  std::map<FacetKey, std::pair<int, int>> open_ridges;
-  const std::size_t existing = cells_.size();
-  for (std::size_t ci = 0; ci < existing; ++ci) {
-    if (!conflict[ci]) continue;
+  // Build one new cell per boundary facet of the conflict region. New cells
+  // reuse tombstoned slots where possible; the dying cells' slots are only
+  // recycled after this insert completes, so their vertex/neighbor arrays
+  // stay readable throughout.
+  created_.clear();
+  for (std::size_t i = 0; i < conflict_.size(); ++i) {
+    const int ci = conflict_[i];
     for (int k = 0; k <= dim_; ++k) {
-      const int nb = cells_[ci].nbr[static_cast<std::size_t>(k)];
-      if (nb < 0 || conflict[static_cast<std::size_t>(nb)]) continue;
+      const int nb = cells_[static_cast<std::size_t>(ci)].nbr[static_cast<std::size_t>(k)];
+      if (nb < 0 || mark_[static_cast<std::size_t>(nb)] == mark_epoch_) continue;
       // Boundary facet: vertices of the dying cell except v[k]; the facet
       // survives and gets joined to p. p sits at index dim_, opposite it.
-      Cell fresh;
+      const int fresh_id = alloc_cell();
+      Cell& fresh = cells_[static_cast<std::size_t>(fresh_id)];
       fresh.nbr.fill(-1);
+      fresh.alive = true;
       int w = 0;
-      for (int i = 0; i <= dim_; ++i)
-        if (i != k) fresh.v[static_cast<std::size_t>(w++)] = cells_[ci].v[static_cast<std::size_t>(i)];
+      const Cell& dying = cells_[static_cast<std::size_t>(ci)];
+      for (int j = 0; j <= dim_; ++j)
+        if (j != k) fresh.v[static_cast<std::size_t>(w++)] = dying.v[static_cast<std::size_t>(j)];
       fresh.v[static_cast<std::size_t>(dim_)] = p;
       fresh.nbr[static_cast<std::size_t>(dim_)] = nb;
-      const int fresh_id = static_cast<int>(cells_.size());
       // Redirect the outside neighbor's pointer from the dying cell to us.
       Cell& out = cells_[static_cast<std::size_t>(nb)];
       bool redirected = false;
       for (int j = 0; j <= dim_; ++j)
-        if (out.nbr[static_cast<std::size_t>(j)] == static_cast<int>(ci)) {
+        if (out.nbr[static_cast<std::size_t>(j)] == ci) {
           out.nbr[static_cast<std::size_t>(j)] = fresh_id;
           redirected = true;
           break;
         }
       if (!redirected) return false;
       if (!cache_circumsphere(fresh)) return false;  // degenerate: retry with more jitter
-      cells_.push_back(fresh);
-      created.push_back(fresh_id);
+      created_.push_back(fresh_id);
     }
   }
-  if (created.empty()) return false;
+  if (created_.empty()) return false;
 
   // Wire new-cell-to-new-cell adjacency across ridges (facets containing p).
-  for (int ci : created) {
-    Cell& c = cells_[static_cast<std::size_t>(ci)];
+  facets_.reset(dim_, created_.size() * static_cast<std::size_t>(dim_));
+  for (int ci : created_) {
     for (int k = 0; k < dim_; ++k) {  // facets opposite each non-p vertex
-      const FacetKey key = facet_key(c, k, dim_);
-      auto it = open_ridges.find(key);
-      if (it == open_ridges.end()) {
-        open_ridges.emplace(key, std::make_pair(ci, k));
-      } else {
-        const auto [cj, kj] = it->second;
-        c.nbr[static_cast<std::size_t>(k)] = cj;
+      const FacetKey key = facet_key(cells_[static_cast<std::size_t>(ci)], k, dim_);
+      int cj = -1, kj = -1;
+      if (facets_.match_or_insert(key, ci, k, &cj, &kj)) {
+        cells_[static_cast<std::size_t>(ci)].nbr[static_cast<std::size_t>(k)] = cj;
         cells_[static_cast<std::size_t>(cj)].nbr[static_cast<std::size_t>(kj)] = ci;
-        open_ridges.erase(it);
       }
     }
   }
-  if (!open_ridges.empty()) return false;  // inconsistent region; caller retries
+  if (!facets_.empty()) return false;  // inconsistent region; caller retries
 
-  for (std::size_t ci = 0; ci < conflict.size(); ++ci)
-    if (conflict[ci]) cells_[ci].alive = false;
+  for (int ci : conflict_) {
+    cells_[static_cast<std::size_t>(ci)].alive = false;
+    free_cells_.push_back(ci);
+  }
+  hint_ = created_.back();
   return true;
 }
 
 std::vector<std::pair<int, int>> Triangulation::finite_edges() const {
+  // Each edge shows up in every incident cell (five-ish tetrahedra per edge
+  // in 3D), so dedup through a small open-addressing set before the final
+  // sort instead of sorting the whole multiset.
   std::vector<std::pair<int, int>> edges;
+  std::size_t cap = 64;
+  while (cap < cells_.size() * static_cast<std::size_t>(dim_ + 1)) cap <<= 1;
+  std::vector<std::uint64_t> seen(cap, UINT64_MAX);
+  const std::size_t mask = cap - 1;
   for (const Cell& c : cells_) {
     if (!c.alive || infinite_index(c) >= 0) continue;
     for (int i = 0; i <= dim_; ++i)
-      for (int j = i + 1; j <= dim_; ++j)
-        edges.emplace_back(std::min(c.v[static_cast<std::size_t>(i)], c.v[static_cast<std::size_t>(j)]),
-                           std::max(c.v[static_cast<std::size_t>(i)], c.v[static_cast<std::size_t>(j)]));
+      for (int j = i + 1; j <= dim_; ++j) {
+        const int a = std::min(c.v[static_cast<std::size_t>(i)], c.v[static_cast<std::size_t>(j)]);
+        const int b = std::max(c.v[static_cast<std::size_t>(i)], c.v[static_cast<std::size_t>(j)]);
+        const std::uint64_t packed =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+            static_cast<std::uint32_t>(b);
+        std::size_t s = splitmix(packed) & mask;
+        while (seen[s] != UINT64_MAX && seen[s] != packed) s = (s + 1) & mask;
+        if (seen[s] == packed) continue;
+        seen[s] = packed;
+        edges.emplace_back(a, b);
+      }
   }
   std::sort(edges.begin(), edges.end());
-  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
   return edges;
 }
 
@@ -329,6 +533,7 @@ DelaunayGraph delaunay_graph(std::span<const Vec> points, const DelaunayOptions&
     for (int attempt = 0; attempt < opts.max_attempts && !built; ++attempt, rel *= 1e3) {
       Triangulation t;
       t.set_jitter(rel, opts.jitter_seed + static_cast<std::uint64_t>(attempt) * 0x1234567ull);
+      if (opts.force_linear_scan) t.set_locate_mode(Triangulation::LocateMode::kLinearScan);
       if (t.build(points)) {
         g.edges = t.finite_edges();
         built = true;

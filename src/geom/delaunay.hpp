@@ -36,6 +36,10 @@ struct DelaunayOptions {
   std::uint64_t jitter_seed = 0x5eedULL;
   // Maximum rebuild attempts (jitter grows 1000x per attempt).
   int max_attempts = 3;
+  // Testing hook: collect each insertion's conflict region by exhaustive
+  // linear scan (the original kernel) instead of the hint-seeded walk + BFS
+  // flood. Equivalence tests pin the two against each other.
+  bool force_linear_scan = false;
 };
 
 // The Delaunay *graph* of a point set: per-point sorted neighbor lists plus
@@ -76,6 +80,20 @@ class Triangulation {
   // fall back).
   bool build(std::span<const Vec> points);
 
+  // Conflict-region seed strategy. kWalk (default) runs a hint-seeded
+  // visibility walk from the last created cell; kLinearScan is the original
+  // exhaustive scan, kept as the walk's fallback and as the reference kernel
+  // for equivalence tests.
+  enum class LocateMode { kWalk, kLinearScan };
+  void set_locate_mode(LocateMode mode) { locate_mode_ = mode; }
+
+  // Exposed for tests and benchmarks: one cell (alive) whose circumsphere /
+  // hull-visibility region contains q -- the seed of the Bowyer-Watson
+  // cavity. Returns -1 if no cell is in conflict.
+  int locate_conflict(const Vec& q);
+  // How many walks gave up and fell back to the linear scan (diagnostics).
+  std::uint64_t walk_fallbacks() const { return walk_fallbacks_; }
+
   int dim() const { return dim_; }
   const std::vector<Cell>& cells() const { return cells_; }
   const std::vector<Vec>& jittered_points() const { return pts_; }
@@ -94,17 +112,70 @@ class Triangulation {
   }
 
  private:
+  // Open-addressing hash table matching facets/ridges by their sorted vertex
+  // tuple. Entries pair up and vanish; a consistent cavity leaves the table
+  // empty. Storage is reused across inserts (epoch-stamped slots, no per-use
+  // clearing).
+  class FacetTable {
+   public:
+    void reset(int dim, std::size_t expected_entries);
+    // If `key` is already present, removes it, fills *other_cell /
+    // *other_facet with the stored pair and returns true; otherwise inserts
+    // (cell, facet) under `key` and returns false.
+    bool match_or_insert(const std::array<int, 12>& key, int cell, int facet, int* other_cell,
+                         int* other_facet);
+    bool empty() const { return live_ == 0; }
+
+   private:
+    struct Slot {
+      std::array<int, 12> key;
+      int cell = -1;
+      int facet = -1;
+      std::uint64_t stamp = 0;  // epoch the slot was written in
+      bool tombstone = false;
+    };
+    std::vector<Slot> slots_;
+    std::uint64_t epoch_ = 0;
+    std::size_t mask_ = 0;
+    std::size_t live_ = 0;
+    int dim_ = 0;
+  };
+
   bool init_first_simplex(std::vector<int>& chosen);
   bool insert(int p);
   bool in_conflict(const Cell& c, const Vec& p) const;
   bool cache_circumsphere(Cell& c);
   int infinite_index(const Cell& c) const;
+  // Visibility walk from the hint cell; -1 directs the caller to fall back.
+  int locate_walk(const Vec& q);
+  int locate_linear(const Vec& q) const;
+  // Orientation sign of the simplex formed by cell c's vertices with the one
+  // at index `replace` (if >= 0) substituted by q. Stack buffers only.
+  double cell_orient(const Cell& c, int replace, const Vec& q) const;
+  // Takes a slot off the free list (or grows cells_); returns its id.
+  int alloc_cell();
 
   int dim_ = 0;
   double jitter_rel_ = 1e-9;
   std::uint64_t jitter_seed_ = 0x5eedULL;
+  LocateMode locate_mode_ = LocateMode::kWalk;
   std::vector<Vec> pts_;
   std::vector<Cell> cells_;
+  // Tombstoned cell slots available for reuse, so cells_ stays proportional
+  // to the live complex instead of growing monotonically with inserts.
+  std::vector<int> free_cells_;
+  int hint_ = -1;  // last created cell: the walk's starting point
+  std::uint64_t walk_fallbacks_ = 0;
+  // Scratch reused across inserts (conflict marks, BFS queue, created list,
+  // predicate vertex buffer -- Vec default-construction zeroes kMaxDim
+  // coordinates, so a fresh array per in_conflict call costs more than the
+  // conflict test itself).
+  mutable std::array<Vec, kMaxVerts> vert_scratch_;
+  std::vector<std::uint64_t> mark_;
+  std::uint64_t mark_epoch_ = 0;
+  std::vector<int> conflict_;
+  std::vector<int> created_;
+  FacetTable facets_;
 };
 
 }  // namespace gdvr::geom

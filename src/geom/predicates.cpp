@@ -11,8 +11,16 @@ namespace {
 constexpr int kMaxN = 13;
 
 // Determinant of an n x n row-major matrix held in a flat stack buffer;
-// Gaussian elimination with partial pivoting, destroys the buffer.
+// Gaussian elimination with partial pivoting, destroys the buffer. Closed
+// forms for n <= 3 (the 2D/3D hot path: every walk step and hull-visibility
+// test bottoms out here, and generic pivoting costs several times the
+// arithmetic at these sizes).
 double det_flat(double* m, int n) {
+  if (n == 1) return m[0];
+  if (n == 2) return m[0] * m[3] - m[1] * m[2];
+  if (n == 3)
+    return m[0] * (m[4] * m[8] - m[5] * m[7]) - m[1] * (m[3] * m[8] - m[5] * m[6]) +
+           m[2] * (m[3] * m[7] - m[4] * m[6]);
   double det = 1.0;
   for (int col = 0; col < n; ++col) {
     int pivot = col;
@@ -50,6 +58,11 @@ double orient_flat(std::span<const Vec> points, int dim) {
 }
 
 }  // namespace
+
+double det_inplace(double* m, int n) {
+  GDVR_ASSERT(n <= kMaxN);
+  return det_flat(m, n);
+}
 
 double determinant_inplace(std::vector<std::vector<double>>& m) {
   const int n = static_cast<int>(m.size());

@@ -17,6 +17,11 @@ namespace gdvr::geom {
 // Determinant of a small dense matrix, destroyed in place.
 double determinant_inplace(std::vector<std::vector<double>>& m);
 
+// Determinant of an n x n row-major matrix held in a caller-provided flat
+// buffer (destroyed in place). Allocation-free building block for callers on
+// hot paths (the Delaunay walk's per-facet orientation tests). n <= 13.
+double det_inplace(double* m, int n);
+
 // Orientation of the simplex (p[0], ..., p[d]) in d dimensions:
 // sign of det [p1-p0; p2-p0; ...; pd-p0]. Positive / negative / ~zero
 // (degenerate). `points` must contain exactly dim+1 points of dimension dim.

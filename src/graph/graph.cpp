@@ -20,29 +20,42 @@ Graph Graph::induced_subgraph(std::span<const int> keep, std::vector<int>* old_i
   return g;
 }
 
-ShortestPaths dijkstra(const Graph& g, int src) {
+const ShortestPaths& dijkstra(const Graph& g, int src, DijkstraWorkspace& ws) {
   const int n = g.size();
-  ShortestPaths sp;
+  ShortestPaths& sp = ws.sp;
   sp.dist.assign(static_cast<std::size_t>(n), kInf);
   sp.parent.assign(static_cast<std::size_t>(n), -1);
-  using Item = std::pair<double, int>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  // Manual binary heap on the reused buffer: std::priority_queue owns its
+  // container, so its storage cannot survive across calls.
+  auto& heap = ws.heap;
+  heap.clear();
+  const auto cmp = [](const std::pair<double, int>& a, const std::pair<double, int>& b) {
+    return a.first > b.first;
+  };
   sp.dist[static_cast<std::size_t>(src)] = 0.0;
-  pq.emplace(0.0, src);
-  while (!pq.empty()) {
-    const auto [d, u] = pq.top();
-    pq.pop();
+  heap.emplace_back(0.0, src);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    const auto [d, u] = heap.back();
+    heap.pop_back();
     if (d > sp.dist[static_cast<std::size_t>(u)]) continue;
     for (const Edge& e : g.neighbors(u)) {
       const double nd = d + e.cost;
       if (nd < sp.dist[static_cast<std::size_t>(e.to)]) {
         sp.dist[static_cast<std::size_t>(e.to)] = nd;
         sp.parent[static_cast<std::size_t>(e.to)] = u;
-        pq.emplace(nd, e.to);
+        heap.emplace_back(nd, e.to);
+        std::push_heap(heap.begin(), heap.end(), cmp);
       }
     }
   }
   return sp;
+}
+
+ShortestPaths dijkstra(const Graph& g, int src) {
+  DijkstraWorkspace ws;
+  dijkstra(g, src, ws);
+  return std::move(ws.sp);
 }
 
 std::vector<int> bfs_hops(const Graph& g, int src) {

@@ -93,6 +93,20 @@ struct ShortestPaths {
 // Dijkstra from `src` over directed costs.
 ShortestPaths dijkstra(const Graph& g, int src);
 
+// Reusable storage for repeated dijkstra runs. All-pairs loops (centralized
+// MDT views, ETX stretch baselines, embedding cost matrices) call dijkstra
+// once per source; reusing the dist/parent arrays and the heap buffer avoids
+// three allocations per call.
+struct DijkstraWorkspace {
+  ShortestPaths sp;
+  std::vector<std::pair<double, int>> heap;
+};
+
+// Workspace overload: runs dijkstra from `src`, leaving the result in
+// `ws.sp` and returning a reference to it. The returned reference is
+// invalidated by the next call with the same workspace.
+const ShortestPaths& dijkstra(const Graph& g, int src, DijkstraWorkspace& ws);
+
 // Minimum hop counts from `src` (BFS); -1 when unreachable.
 std::vector<int> bfs_hops(const Graph& g, int src);
 

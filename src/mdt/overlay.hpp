@@ -154,6 +154,17 @@ class MdtOverlay {
   };
   const SyncStats& sync_stats() const { return sync_stats_; }
 
+  // Local-DT memoization counters: `calls` counts recompute() invocations on
+  // live nodes, `rebuilds` the subset that actually re-triangulated because
+  // the input multiset {(id, pos_version)} + own position changed. On a
+  // converged, churn-free network the hit rate (1 - rebuilds/calls)
+  // approaches 1: maintenance rounds become near-zero triangulation work.
+  struct RecomputeStats {
+    std::uint64_t calls = 0;
+    std::uint64_t rebuilds = 0;
+  };
+  const RecomputeStats& recompute_stats() const { return recompute_stats_; }
+
   // Receiver entry point (public so VPoD can delegate MDT kinds to it).
   void handle(NodeId to, NodeId from, Envelope msg);
 
@@ -194,6 +205,21 @@ class MdtOverlay {
     std::map<std::pair<NodeId, NodeId>, RelayEntry> relay;
     std::map<NodeId, PendingSync> pending;
     std::vector<NodeId> prev_round_dt;    // N_u at the previous maintenance round
+    // Memoized local-DT results, keyed by a hash of the triangulated input
+    // (own pos_version plus every contributing (id, pos_version) pair). A
+    // handful of entries, LRU-evicted: steady-state maintenance alternates
+    // between a small cycle of inputs (freshly synced neighbors-of-neighbors
+    // appear, get pruned, reappear next round), and each recurring input
+    // replays its cached neighbor set instead of re-triangulating.
+    // Deactivation resets the whole NodeState, so a crashed-and-rejoined
+    // node can never serve a stale cache entry.
+    struct DtCacheEntry {
+      std::uint64_t hash = 0;
+      std::vector<NodeId> nbrs;
+      std::uint64_t stamp = 0;  // LRU clock value of the last use
+    };
+    std::vector<DtCacheEntry> dt_cache;
+    std::uint64_t dt_cache_clock = 0;
     bool resync_scheduled = false;
     bool recompute_scheduled = false;
     sim::Time last_join_attempt = -1e18;  // rate limit for join retries
@@ -252,6 +278,7 @@ class MdtOverlay {
   MdtConfig config_;
   ReliableNet* reliable_ = nullptr;
   SyncStats sync_stats_;
+  RecomputeStats recompute_stats_;
   std::vector<NodeState> states_;
   Rng rng_;
   std::vector<NodeId> empty_path_;

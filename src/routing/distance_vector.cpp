@@ -104,9 +104,10 @@ RouteResult DistanceVector::route(NodeId s, NodeId t) const {
 }
 
 bool DistanceVector::converged() const {
+  graph::DijkstraWorkspace ws;
   for (NodeId u = 0; u < net_.size(); ++u) {
     if (!net_.alive(u)) continue;
-    const auto sp = graph::dijkstra(net_.links(), u);
+    const auto& sp = graph::dijkstra(net_.links(), u, ws);
     for (NodeId t = 0; t < net_.size(); ++t) {
       if (!net_.alive(t)) continue;
       const double truth = sp.dist[static_cast<std::size_t>(t)];

@@ -43,12 +43,13 @@ MdtView centralized_mdt(std::span<const Vec> positions, const graph::Graph& metr
   const geom::DelaunayGraph dtg = geom::delaunay_graph(positions);
   // Sources that own at least one non-physical DT edge need a shortest-path
   // tree to extract virtual-link paths and costs.
+  graph::DijkstraWorkspace ws;
   for (int u = 0; u < n; ++u) {
     bool needs_tree = false;
     for (int v : dtg.nbrs[static_cast<std::size_t>(u)])
       if (!metric.has_edge(u, v)) needs_tree = true;
     if (!needs_tree) continue;
-    const graph::ShortestPaths sp = graph::dijkstra(metric, u);
+    const graph::ShortestPaths& sp = graph::dijkstra(metric, u, ws);
     for (int v : dtg.nbrs[static_cast<std::size_t>(u)]) {
       if (metric.has_edge(u, v)) continue;
       if (sp.dist[static_cast<std::size_t>(v)] == graph::kInf) continue;

@@ -276,5 +276,157 @@ TEST(Delaunay, NearestNeighborIsAlwaysDTNeighbor) {
   }
 }
 
+// ---------- walk kernel vs original linear-scan kernel ----------
+//
+// The hint-seeded visibility walk replaced the exhaustive per-insert conflict
+// scan; these tests pin the two kernels against each other (and, where small
+// enough, against the brute-force oracle) on random and adversarial inputs.
+
+std::pair<DelaunayGraph, DelaunayGraph> both_kernels(std::span<const Vec> pts,
+                                                     DelaunayOptions opts = {}) {
+  opts.force_linear_scan = false;
+  const DelaunayGraph walk = delaunay_graph(pts, opts);
+  opts.force_linear_scan = true;
+  const DelaunayGraph linear = delaunay_graph(pts, opts);
+  return {walk, linear};
+}
+
+TEST(DelaunayWalk, MatchesLinearScanRandom) {
+  for (int dim = 2; dim <= 4; ++dim) {
+    for (int n : {10, 40, 120}) {
+      const auto pts =
+          random_points(n, dim, 9000u + static_cast<std::uint64_t>(dim) * 31 +
+                                    static_cast<std::uint64_t>(n));
+      const auto [walk, linear] = both_kernels(pts);
+      EXPECT_EQ(walk.complete_graph_fallback, linear.complete_graph_fallback)
+          << "dim=" << dim << " n=" << n;
+      EXPECT_EQ(walk.edges, linear.edges) << "dim=" << dim << " n=" << n;
+    }
+  }
+}
+
+TEST(DelaunayWalk, MatchesLinearScanAndOracleSmall) {
+  // Small enough for the O(n^(d+2)) oracle: all three implementations agree.
+  for (int dim = 2; dim <= 4; ++dim) {
+    const auto pts = random_points(14, dim, 7100u + static_cast<std::uint64_t>(dim));
+    const auto [walk, linear] = both_kernels(pts);
+    ASSERT_FALSE(walk.complete_graph_fallback);
+    const auto oracle = brute_force_delaunay_edges(pts);
+    EXPECT_EQ(walk.edges, oracle) << "dim=" << dim;
+    EXPECT_EQ(linear.edges, oracle) << "dim=" << dim;
+  }
+}
+
+TEST(DelaunayWalk, MatchesLinearScanCosphericalGrid) {
+  // Perfect grids are maximally degenerate (co-circular / co-spherical
+  // quadruples everywhere), so every insertion lands on a jittered
+  // near-tie -- the worst case for a walk that reasons about conflict signs.
+  std::vector<Vec> grid2;
+  for (int r = 0; r < 7; ++r)
+    for (int c = 0; c < 7; ++c)
+      grid2.push_back(Vec{static_cast<double>(c), static_cast<double>(r)});
+  std::vector<Vec> grid3;
+  for (int x = 0; x < 4; ++x)
+    for (int y = 0; y < 4; ++y)
+      for (int z = 0; z < 4; ++z)
+        grid3.push_back(Vec{static_cast<double>(x), static_cast<double>(y),
+                            static_cast<double>(z)});
+  {
+    const auto [walk, linear] = both_kernels(grid2);
+    EXPECT_EQ(walk.complete_graph_fallback, linear.complete_graph_fallback);
+    EXPECT_EQ(walk.edges, linear.edges);
+  }
+  // In 3D the default 1e-9 jitter leaves some in-sphere values below the
+  // floating-point noise floor. There neither kernel is a reliable DT (the
+  // original exhaustive scan included -- it can collect conflict cells
+  // disconnected, in the inexact arithmetic, from the seed's region and
+  // still pass the cavity-consistency check), so exact equivalence is
+  // asserted with a jitter large enough to make every predicate decisive,
+  // and under the default jitter only like-for-like behavior is required:
+  // both kernels build without hitting the complete-graph fallback.
+  {
+    DelaunayOptions decisive;
+    decisive.jitter_rel = 1e-6;
+    const auto [walk, linear] = both_kernels(grid3, decisive);
+    ASSERT_FALSE(walk.complete_graph_fallback);
+    EXPECT_EQ(walk.edges, linear.edges);
+  }
+  {
+    const auto [walk, linear] = both_kernels(grid3);
+    EXPECT_EQ(walk.complete_graph_fallback, linear.complete_graph_fallback);
+  }
+}
+
+TEST(DelaunayWalk, MatchesLinearScanNearDuplicates) {
+  // Clusters of points 1e-13 apart: conflict regions collapse to slivers and
+  // the walk must still terminate and agree with the exhaustive scan.
+  for (int dim = 2; dim <= 3; ++dim) {
+    auto pts = random_points(20, dim, 8200u + static_cast<std::uint64_t>(dim));
+    const std::size_t base = pts.size();
+    for (std::size_t i = 0; i < 6; ++i) {
+      Vec p = pts[i];
+      p[static_cast<int>(i) % dim] += 1e-13;
+      pts.push_back(p);
+    }
+    ASSERT_EQ(pts.size(), base + 6);
+    const auto [walk, linear] = both_kernels(pts);
+    EXPECT_EQ(walk.complete_graph_fallback, linear.complete_graph_fallback) << "dim=" << dim;
+    EXPECT_EQ(walk.edges, linear.edges) << "dim=" << dim;
+  }
+}
+
+TEST(DelaunayWalk, MatchesLinearScanThroughJitterRetry) {
+  // A grid with an absurdly small initial jitter forces the build through the
+  // retry path (jitter grows 1000x per attempt); both kernels must walk the
+  // same retry sequence and land on the same graph.
+  std::vector<Vec> pts;
+  for (int r = 0; r < 5; ++r)
+    for (int c = 0; c < 5; ++c)
+      pts.push_back(Vec{static_cast<double>(c), static_cast<double>(r)});
+  DelaunayOptions opts;
+  opts.jitter_rel = 1e-18;
+  const auto [walk, linear] = both_kernels(pts, opts);
+  EXPECT_EQ(walk.complete_graph_fallback, linear.complete_graph_fallback);
+  EXPECT_EQ(walk.edges, linear.edges);
+}
+
+TEST(DelaunayWalk, TriangulationEdgeSetsAgreeAcrossLocateModes) {
+  // Same point set through the Triangulation class directly, once per locate
+  // mode: identical finite edge sets and both satisfy the empty-circumsphere
+  // property.
+  for (int dim = 2; dim <= 4; ++dim) {
+    const auto pts = random_points(60, dim, 6400u + static_cast<std::uint64_t>(dim));
+    Triangulation walk;
+    walk.set_locate_mode(Triangulation::LocateMode::kWalk);
+    ASSERT_TRUE(walk.build(pts));
+    Triangulation linear;
+    linear.set_locate_mode(Triangulation::LocateMode::kLinearScan);
+    ASSERT_TRUE(linear.build(pts));
+    EXPECT_EQ(walk.finite_edges(), linear.finite_edges()) << "dim=" << dim;
+    EXPECT_TRUE(walk.empty_circumsphere_property()) << "dim=" << dim;
+  }
+}
+
+TEST(DelaunayWalk, LocateConflictAgreesWithLinearOnConflictExistence) {
+  // locate_conflict must find *a* conflicting cell exactly when the
+  // exhaustive scan finds one (the specific cell may differ; the Bowyer-
+  // Watson flood regionalizes from any seed).
+  const auto pts = random_points(80, 2, 3300);
+  Triangulation tri;
+  ASSERT_TRUE(tri.build(pts));
+  Triangulation ref;
+  ref.set_locate_mode(Triangulation::LocateMode::kLinearScan);
+  ASSERT_TRUE(ref.build(pts));
+  const auto queries = random_points(200, 2, 3301, /*scale=*/1.4);  // some outside the hull
+  for (const Vec& q : queries) {
+    const int a = tri.locate_conflict(q);
+    const int b = ref.locate_conflict(q);
+    EXPECT_EQ(a >= 0, b >= 0);
+    if (a >= 0) {
+      EXPECT_TRUE(tri.cells()[static_cast<std::size_t>(a)].alive);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace gdvr::geom
