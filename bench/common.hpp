@@ -9,11 +9,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "eval/protocol_runner.hpp"
 #include "eval/routing_eval.hpp"
+#include "obs/metrics.hpp"
 #include "radio/topology.hpp"
 #include "vivaldi/vivaldi.hpp"
 #include "vpod/vpod.hpp"
@@ -56,6 +58,31 @@ struct PeriodPoint {
   double msgs_per_node = 0.0;  // control messages per node in this period window
 };
 
+// When GDVR_METRICS_OUT is set, dumps the runner's metric registry to that
+// path: "<base>.json" (or any other extension) gets JSON, "<base>.csv" CSV.
+// Appends when several series run in one bench process would collide: each
+// export goes to "<path>" on the first call and "<path>.<k>" afterwards.
+inline void export_runner_metrics(const eval::VpodRunner& runner) {
+  const char* path = std::getenv("GDVR_METRICS_OUT");
+  if (path == nullptr || path[0] == '\0') return;
+  static int call = 0;
+  std::string target = path;
+  if (call > 0) target += "." + std::to_string(call);
+  ++call;
+  obs::Registry reg;
+  runner.export_metrics(reg);
+  std::ofstream os(target);
+  if (!os) {
+    std::fprintf(stderr, "warning: cannot open GDVR_METRICS_OUT=%s\n", target.c_str());
+    return;
+  }
+  const bool csv = target.size() >= 4 && target.compare(target.size() - 4, 4, ".csv") == 0;
+  if (csv)
+    reg.write_csv(os);
+  else
+    reg.write_json(os);
+}
+
 inline std::vector<PeriodPoint> run_vpod_series(const radio::Topology& topo, bool use_etx,
                                                 const vpod::VpodConfig& vc, int periods,
                                                 int pair_samples, int sample_every = 1,
@@ -79,6 +106,7 @@ inline std::vector<PeriodPoint> run_vpod_series(const radio::Topology& topo, boo
     last_marked = k;
     out.push_back(p);
   }
+  export_runner_metrics(runner);
   return out;
 }
 

@@ -3,7 +3,10 @@
 // decisions, SVD, Dijkstra, and topology generation.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
 #include "analysis/embedding.hpp"
+#include "obs/profile.hpp"
 #include "analysis/svd.hpp"
 #include "common.hpp"
 #include "common/rng.hpp"
@@ -201,4 +204,14 @@ BENCHMARK(BM_TopSingularValues)->Arg(200)->Arg(400);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded by hand so a GDVR_PROFILE=1 run can append the
+// scoped-timer report (Delaunay build, overlay recompute, dijkstra, ...)
+// after the benchmark table; scripts/bench.sh --profile relies on this.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (gdvr::obs::profiling_enabled()) gdvr::obs::write_profile_report(std::cerr);
+  return 0;
+}

@@ -6,6 +6,10 @@
 #   scripts/bench.sh                 # full suite, BENCH_core.json
 #   scripts/bench.sh --quick         # fast smoke pass, no JSON rewrite
 #   scripts/bench.sh --filter REGEX  # subset, no JSON rewrite
+#   scripts/bench.sh --profile       # GDVR_PROFILE=1 run: appends the scoped
+#                                    # timer report (Delaunay build, overlay
+#                                    # recompute, dijkstra) to stderr;
+#                                    # no JSON rewrite (timers add overhead)
 #
 # Build directory: build-rel/ (Release; created on demand, reused).
 set -euo pipefail
@@ -13,11 +17,13 @@ cd "$(dirname "$0")/.."
 
 QUICK=0
 FILTER=""
+PROFILE=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) QUICK=1; shift ;;
     --filter) FILTER="$2"; shift 2 ;;
-    *) echo "usage: scripts/bench.sh [--quick] [--filter REGEX]" >&2; exit 2 ;;
+    --profile) PROFILE=1; shift ;;
+    *) echo "usage: scripts/bench.sh [--quick] [--filter REGEX] [--profile]" >&2; exit 2 ;;
   esac
 done
 
@@ -30,10 +36,14 @@ cmake --build build-rel -j "$JOBS" --target micro_core
 ARGS=(--benchmark_min_time=0.05)
 if [[ "$QUICK" == 1 ]]; then
   ARGS=(--benchmark_min_time=0.01)
-elif [[ -z "$FILTER" ]]; then
+elif [[ -z "$FILTER" && "$PROFILE" == 0 ]]; then
   ARGS+=(--benchmark_out=BENCH_core.json --benchmark_out_format=json)
 fi
 [[ -n "$FILTER" ]] && ARGS+=(--benchmark_filter="$FILTER")
 
-./build-rel/bench/micro_core "${ARGS[@]}"
-[[ "$QUICK" == 0 && -z "$FILTER" ]] && echo "wrote BENCH_core.json"
+if [[ "$PROFILE" == 1 ]]; then
+  GDVR_PROFILE=1 ./build-rel/bench/micro_core "${ARGS[@]}"
+else
+  ./build-rel/bench/micro_core "${ARGS[@]}"
+fi
+[[ "$QUICK" == 0 && "$PROFILE" == 0 && -z "$FILTER" ]] && echo "wrote BENCH_core.json"

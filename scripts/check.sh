@@ -7,9 +7,12 @@
 #   scripts/check.sh --release  # tier-1 in a Release tree + benchmark smoke
 #                               # run, so optimization-level-only bugs and
 #                               # bench bit-rot surface before perf work lands
+#   scripts/check.sh --coverage # opt-in: tier-1 under gcov instrumentation,
+#                               # failing if src/ line coverage drops below
+#                               # the committed COVERAGE_baseline.txt
 #
 # Build directories: build/ (plain), build-asan/, build-ubsan/, build-rel/
-# (--release). They are created on demand and reused across runs.
+# (--release), build-cov/ (--coverage). Created on demand, reused across runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +20,9 @@ QUICK=0
 RELEASE=0
 [[ "${1:-}" == "--quick" ]] && QUICK=1
 [[ "${1:-}" == "--release" ]] && RELEASE=1
+if [[ "${1:-}" == "--coverage" ]]; then
+  exec scripts/coverage.sh --check
+fi
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 

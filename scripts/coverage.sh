@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Line coverage of src/ under the tier-1 test suite, using the toolchain's
+# raw gcov (no gcovr/lcov dependency). Lines are unioned across translation
+# units, so headers exercised from several tests count once.
+#
+#   scripts/coverage.sh                    # build, run tier-1, print coverage
+#   scripts/coverage.sh --check            # additionally fail if total line
+#                                          # coverage drops below the recorded
+#                                          # baseline (COVERAGE_baseline.txt)
+#   scripts/coverage.sh --update-baseline  # rewrite the baseline from this run
+#
+# Build directory: build-cov/ (instrumented with --coverage; created on
+# demand, reused). The baseline lives at the repo root and is committed, so
+# coverage regressions show up in review diffs like benchmark regressions do.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=report
+case "${1:-}" in
+  "") ;;
+  --check) MODE=check ;;
+  --update-baseline) MODE=update ;;
+  *) echo "usage: scripts/coverage.sh [--check|--update-baseline]" >&2; exit 2 ;;
+esac
+
+BASELINE_FILE=COVERAGE_baseline.txt
+JOBS="$(nproc 2>/dev/null || echo 4)"
+[[ "$JOBS" -lt 8 ]] && JOBS=8
+
+cmake -S . -B build-cov -DGDVR_WERROR=ON \
+  -DCMAKE_CXX_FLAGS="--coverage" -DCMAKE_EXE_LINKER_FLAGS="--coverage" >/dev/null
+cmake --build build-cov -j "$JOBS"
+
+# Stale .gcda from previous runs would mix coverage of deleted tests in.
+find build-cov -name '*.gcda' -delete
+ctest --test-dir build-cov -LE chaos --output-on-failure -j "$JOBS" >/dev/null
+
+# One gcov invocation per object file; -p -l keeps per-TU output files
+# distinct so header coverage from different tests survives until the union.
+GCOV_DIR=build-cov/coverage-gcov
+rm -rf "$GCOV_DIR" && mkdir -p "$GCOV_DIR"
+(
+  cd "$GCOV_DIR"
+  find ../.. -name '*.gcda' -path '*/build-cov/*' | while read -r f; do
+    gcov -p -l -o "$(dirname "$f")" "$f" >/dev/null 2>&1 || true
+  done
+)
+
+# Union executed lines across TUs: a source line counts as covered if any
+# test executed it anywhere. Restricted to src/ (tests and benches measuring
+# themselves would only flatter the number).
+PCT="$(awk -F: '
+  /0:Source:/ {
+    file = $0
+    sub(/.*0:Source:/, "", file)
+    keep = (file ~ /\/src\//) && (file !~ /\/build/)
+    next
+  }
+  keep {
+    count = $1; gsub(/[ \t]/, "", count)
+    line = $2 + 0
+    if (line == 0 || count == "-") next
+    key = file ":" line
+    instrumented[key] = 1
+    if (count != "#####" && count != "=====") executed[key] = 1
+  }
+  END {
+    total = 0; exec_n = 0
+    for (k in instrumented) { ++total; if (k in executed) ++exec_n }
+    if (total == 0) { print "0.0"; exit }
+    printf "%.1f", 100.0 * exec_n / total
+    printf " (%d of %d lines)\n", exec_n, total > "/dev/stderr"
+  }
+' "$GCOV_DIR"/*.gcov)"
+
+echo "src/ line coverage: ${PCT}%"
+
+case "$MODE" in
+  update)
+    echo "$PCT" > "$BASELINE_FILE"
+    echo "baseline updated: $BASELINE_FILE = ${PCT}%"
+    ;;
+  check)
+    if [[ ! -f "$BASELINE_FILE" ]]; then
+      echo "no $BASELINE_FILE; run scripts/coverage.sh --update-baseline first" >&2
+      exit 1
+    fi
+    BASE="$(cat "$BASELINE_FILE")"
+    # Small tolerance absorbs line-accounting jitter across gcc point releases.
+    OK="$(awk -v p="$PCT" -v b="$BASE" 'BEGIN { print (p + 0.2 >= b) ? 1 : 0 }')"
+    if [[ "$OK" != 1 ]]; then
+      echo "coverage regression: ${PCT}% < baseline ${BASE}%" >&2
+      exit 1
+    fi
+    echo "coverage ok (baseline ${BASE}%)"
+    ;;
+esac

@@ -89,6 +89,46 @@ double VpodRunner::messages_per_node_since_mark() {
   return alive > 0 ? static_cast<double>(delta) / alive : 0.0;
 }
 
+void VpodRunner::export_metrics(obs::Registry& reg) const {
+  const mdt::MdtOverlay& overlay = vpod_->overlay();
+
+  reg.counter("mdt.sync_requests").set(overlay.sync_stats().requests);
+  reg.counter("mdt.sync_failures").set(overlay.sync_stats().failures);
+  reg.counter("mdt.recompute_calls").set(overlay.recompute_stats().calls);
+  reg.counter("mdt.recompute_rebuilds").set(overlay.recompute_stats().rebuilds);
+  reg.counter("vpod.adjustments").set(vpod_->adjustments());
+
+  reg.counter("net.messages_sent").set(net_->total_messages_sent());
+  reg.counter("net.messages_lost").set(net_->messages_lost());
+  reg.counter("net.messages_expired").set(net_->messages_expired());
+  reg.counter("net.fault_messages_lost").set(net_->fault_messages_lost());
+  reg.counter("net.messages_duplicated").set(net_->messages_duplicated());
+
+  if (reliable_) {
+    const sim::ReliableStats& rs = reliable_->stats();
+    reg.counter("reliable.sent").set(rs.sent);
+    reg.counter("reliable.retransmissions").set(rs.retransmissions);
+    reg.counter("reliable.acked").set(rs.acked);
+    reg.counter("reliable.gave_up").set(rs.gave_up);
+    reg.counter("reliable.acks_sent").set(rs.acks_sent);
+    reg.counter("reliable.duplicates_suppressed").set(rs.duplicates_suppressed);
+  }
+
+  // Per-node distributions: registered both as per-node counters/gauges (for
+  // drill-down) and as whole-network histograms (for summary percentiles).
+  obs::Histogram& sent_hist = reg.histogram("node.messages_sent");
+  obs::Histogram& storage_hist = reg.histogram("node.storage");
+  for (int u = 0; u < net_->size(); ++u) {
+    reg.counter("node.messages_sent", u).set(net_->messages_sent(u));
+    if (!net_->alive(u) || !overlay.active(u)) continue;
+    const double stored = overlay.distinct_nodes_stored(u);
+    reg.gauge("node.storage", u).set(stored);
+    sent_hist.observe(static_cast<double>(net_->messages_sent(u)));
+    storage_hist.observe(stored);
+  }
+  reg.gauge("vpod.avg_storage").set(avg_storage());
+}
+
 // ---------------------------------------------------------------------------
 
 VivaldiRunner::VivaldiRunner(const radio::Topology& topo, bool use_etx,

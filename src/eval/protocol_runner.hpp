@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "eval/routing_eval.hpp"
+#include "obs/metrics.hpp"
 #include "radio/topology.hpp"
 #include "routing/mdt_view.hpp"
 #include "sim/faults.hpp"
@@ -76,6 +77,14 @@ class VpodRunner {
   double avg_storage() const;
   // Control messages per alive node since the previous call (per-period cost).
   double messages_per_node_since_mark();
+
+  // Dumps the run's observability counters into `reg`: per-protocol totals
+  // (MDT sync requests/failures, recompute calls/rebuilds, VPoD adjustments,
+  // NetSim transmissions/losses, reliable-transport retransmits) plus
+  // per-node distributions (messages sent, distinct nodes stored) as
+  // histograms. Idempotent snapshot: counters are set, not incremented, so
+  // exporting twice into the same registry reflects the latest state.
+  void export_metrics(obs::Registry& reg) const;
 
  private:
   const radio::Topology& topo_;

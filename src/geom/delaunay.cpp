@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "geom/predicates.hpp"
+#include "obs/profile.hpp"
 
 namespace gdvr::geom {
 
@@ -301,6 +302,7 @@ int Triangulation::alloc_cell() {
 }
 
 bool Triangulation::build(std::span<const Vec> points) {
+  GDVR_PROFILE_SCOPE("geom.delaunay_build");
   GDVR_ASSERT(!points.empty());
   dim_ = points[0].dim();
   GDVR_ASSERT(dim_ >= 2 && dim_ <= 12);

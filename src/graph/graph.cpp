@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/profile.hpp"
+
 namespace gdvr::graph {
 
 Graph Graph::induced_subgraph(std::span<const int> keep, std::vector<int>* old_ids) const {
@@ -21,6 +23,7 @@ Graph Graph::induced_subgraph(std::span<const int> keep, std::vector<int>* old_i
 }
 
 const ShortestPaths& dijkstra(const Graph& g, int src, DijkstraWorkspace& ws) {
+  GDVR_PROFILE_SCOPE("graph.dijkstra");
   const int n = g.size();
   ShortestPaths& sp = ws.sp;
   sp.dist.assign(static_cast<std::size_t>(n), kInf);

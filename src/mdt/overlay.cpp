@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "geom/delaunay.hpp"
+#include "obs/profile.hpp"
 
 namespace gdvr::mdt {
 
@@ -750,6 +751,7 @@ void MdtOverlay::schedule_recompute(NodeId u) {
 }
 
 void MdtOverlay::recompute(NodeId u) {
+  GDVR_PROFILE_SCOPE("mdt.recompute");
   NodeState& s = st(u);
   s.recompute_scheduled = false;
   if (!s.active || !net_.alive(u)) return;

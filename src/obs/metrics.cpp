@@ -1,0 +1,137 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <iomanip>
+
+namespace gdvr::obs {
+
+void Histogram::observe(double x) {
+  stat_.add(x);
+  if (++phase_ >= stride_) {
+    phase_ = 0;
+    samples_.push_back(x);
+    if (samples_.size() >= cap_ && cap_ >= 2) {
+      // Decimate: keep every other retained sample, double the stride.
+      std::size_t w = 0;
+      for (std::size_t r = 0; r < samples_.size(); r += 2) samples_[w++] = samples_[r];
+      samples_.resize(w);
+      stride_ *= 2;
+    }
+  }
+}
+
+double Histogram::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  return gdvr::percentile(samples_, q);
+}
+
+Counter& Registry::counter(const std::string& name, int node) {
+  return counters_[MetricKey{name, node}];
+}
+
+Gauge& Registry::gauge(const std::string& name, int node) {
+  return gauges_[MetricKey{name, node}];
+}
+
+Histogram& Registry::histogram(const std::string& name, int node) {
+  return histograms_[MetricKey{name, node}];
+}
+
+namespace {
+
+// Minimal JSON double formatting: finite values round-trip via max_digits10;
+// non-finite values (never expected, but never invalid output) become null.
+void json_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  const auto old_precision = os.precision();
+  os << std::setprecision(17) << v << std::setprecision(static_cast<int>(old_precision));
+}
+
+void json_key(std::ostream& os, const MetricKey& k) {
+  os << "\"name\":\"" << k.name << "\",\"node\":" << k.node;
+}
+
+}  // namespace
+
+void Registry::write_json(std::ostream& os) const {
+  os << "{\"counters\":[";
+  bool first = true;
+  for (const auto& [k, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{";
+    json_key(os, k);
+    os << ",\"value\":" << c.value() << "}";
+  }
+  os << "],\"gauges\":[";
+  first = true;
+  for (const auto& [k, g] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{";
+    json_key(os, k);
+    os << ",\"value\":";
+    json_double(os, g.value());
+    os << "}";
+  }
+  os << "],\"histograms\":[";
+  first = true;
+  for (const auto& [k, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{";
+    json_key(os, k);
+    os << ",\"count\":" << h.count();
+    os << ",\"mean\":";
+    json_double(os, h.mean());
+    os << ",\"min\":";
+    json_double(os, h.count() ? h.min() : 0.0);
+    os << ",\"max\":";
+    json_double(os, h.count() ? h.max() : 0.0);
+    os << ",\"p50\":";
+    json_double(os, h.percentile(0.5));
+    os << ",\"p90\":";
+    json_double(os, h.percentile(0.9));
+    os << ",\"p99\":";
+    json_double(os, h.percentile(0.99));
+    os << "}";
+  }
+  os << "]}";
+}
+
+void Registry::write_csv(std::ostream& os) const {
+  os << "kind,name,node,count,value,mean,min,max,p50,p90,p99\n";
+  for (const auto& [k, c] : counters_)
+    os << "counter," << k.name << "," << k.node << ",1," << c.value() << ",,,,,,\n";
+  for (const auto& [k, g] : gauges_) {
+    os << "gauge," << k.name << "," << k.node << ",1,";
+    json_double(os, g.value());
+    os << ",,,,,,\n";
+  }
+  for (const auto& [k, h] : histograms_) {
+    os << "histogram," << k.name << "," << k.node << "," << h.count() << ",,";
+    json_double(os, h.mean());
+    os << ",";
+    json_double(os, h.count() ? h.min() : 0.0);
+    os << ",";
+    json_double(os, h.count() ? h.max() : 0.0);
+    os << ",";
+    json_double(os, h.percentile(0.5));
+    os << ",";
+    json_double(os, h.percentile(0.9));
+    os << ",";
+    json_double(os, h.percentile(0.99));
+    os << "\n";
+  }
+}
+
+void Registry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace gdvr::obs

@@ -1,0 +1,113 @@
+// Metric registry: named counters, gauges and histograms with optional
+// per-node attribution, exportable as JSON or CSV.
+//
+// The registry is a passive container the harnesses write into on demand
+// (VpodRunner::export_metrics, bench exports); nothing in the protocol hot
+// paths touches it, so it adds zero cost to runs that do not export.
+// Iteration order is the lexicographic (name, node) order of a std::map, so
+// exports are byte-stable across runs -- a requirement for diffable metric
+// snapshots in CI.
+//
+// Histograms combine a RunningStat (exact count/mean/min/max/stddev) with a
+// bounded sample buffer for percentiles: once the buffer reaches its cap,
+// every other retained sample is dropped and the keep stride doubles.
+// Deterministic, bounded memory, and percentile error that shrinks as the
+// retained sample count re-grows toward the cap.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace gdvr::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  void set(std::uint64_t v) { value_ = v; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::size_t sample_cap = 4096) : cap_(sample_cap) {}
+
+  void observe(double x);
+
+  std::size_t count() const { return stat_.count(); }
+  double mean() const { return stat_.mean(); }
+  double stddev() const { return stat_.stddev(); }
+  double min() const { return stat_.min(); }
+  double max() const { return stat_.max(); }
+  // Percentile over the retained samples (exact until `sample_cap`
+  // observations, stride-decimated beyond). q in [0, 1]; 0 with no samples.
+  double percentile(double q) const;
+
+  std::size_t retained_samples() const { return samples_.size(); }
+  std::size_t sample_stride() const { return stride_; }
+
+ private:
+  RunningStat stat_;
+  std::vector<double> samples_;
+  std::size_t cap_;
+  std::size_t stride_ = 1;   // keep every stride-th observation
+  std::size_t phase_ = 0;    // observations since the last kept sample
+};
+
+// A metric is addressed by (name, node); node -1 means "whole system" (or
+// "whole protocol"), node >= 0 attributes the value to one simulated node.
+struct MetricKey {
+  std::string name;
+  int node = -1;
+
+  bool operator<(const MetricKey& o) const {
+    if (name != o.name) return name < o.name;
+    return node < o.node;
+  }
+};
+
+class Registry {
+ public:
+  Counter& counter(const std::string& name, int node = -1);
+  Gauge& gauge(const std::string& name, int node = -1);
+  Histogram& histogram(const std::string& name, int node = -1);
+
+  const std::map<MetricKey, Counter>& counters() const { return counters_; }
+  const std::map<MetricKey, Gauge>& gauges() const { return gauges_; }
+  const std::map<MetricKey, Histogram>& histograms() const { return histograms_; }
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // One JSON object: {"counters": [...], "gauges": [...], "histograms":
+  // [...]} with (name, node, value/summary) entries in deterministic order.
+  void write_json(std::ostream& os) const;
+  // Flat CSV: kind,name,node,count,value,mean,min,max,p50,p90,p99
+  void write_csv(std::ostream& os) const;
+
+  void clear();
+
+ private:
+  std::map<MetricKey, Counter> counters_;
+  std::map<MetricKey, Gauge> gauges_;
+  std::map<MetricKey, Histogram> histograms_;
+};
+
+}  // namespace gdvr::obs

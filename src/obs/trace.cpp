@@ -1,0 +1,122 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace gdvr::obs {
+
+namespace {
+
+thread_local TraceSink* g_sink = nullptr;
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+template <typename T>
+inline std::uint64_t fnv1a_value(std::uint64_t h, const T& v) {
+  return fnv1a(h, &v, sizeof(v));
+}
+
+}  // namespace
+
+const char* hop_mode_name(HopMode mode) {
+  switch (mode) {
+    case HopMode::kGreedy: return "greedy";
+    case HopMode::kRecovery: return "recovery";
+    case HopMode::kRelay: return "relay";
+    case HopMode::kControl: return "control";
+  }
+  return "?";
+}
+
+int TraceSink::begin_packet(int src, int dst) {
+  GDVR_ASSERT(open_packet_ < 0);
+  PacketRecord r;
+  r.src = src;
+  r.dst = dst;
+  packets_.push_back(r);
+  open_packet_ = static_cast<int>(packets_.size()) - 1;
+  return open_packet_;
+}
+
+void TraceSink::end_packet(bool delivered) {
+  GDVR_ASSERT(open_packet_ >= 0);
+  packets_[static_cast<std::size_t>(open_packet_)].delivered = delivered;
+  packets_[static_cast<std::size_t>(open_packet_)].closed = true;
+  open_packet_ = -1;
+}
+
+void TraceSink::hop(int node, int next, HopMode mode, double estimate, double time) {
+  HopEvent e;
+  e.packet = open_packet_;
+  e.node = node;
+  e.next = next;
+  e.mode = mode;
+  e.estimate = estimate;
+  e.time = time;
+  events_.push_back(e);
+}
+
+std::vector<HopEvent> TraceSink::packet_events(int packet) const {
+  std::vector<HopEvent> out;
+  for (const HopEvent& e : events_)
+    if (e.packet == packet) out.push_back(e);
+  return out;
+}
+
+std::uint64_t TraceSink::digest() const {
+  std::uint64_t h = kFnvOffset;
+  for (const PacketRecord& p : packets_) {
+    h = fnv1a_value(h, p.src);
+    h = fnv1a_value(h, p.dst);
+    h = fnv1a_value(h, static_cast<std::uint8_t>(p.delivered));
+  }
+  for (const HopEvent& e : events_) {
+    h = fnv1a_value(h, e.packet);
+    h = fnv1a_value(h, e.node);
+    h = fnv1a_value(h, e.next);
+    h = fnv1a_value(h, static_cast<std::uint8_t>(e.mode));
+    h = fnv1a_value(h, e.estimate);  // exact bit pattern
+    h = fnv1a_value(h, e.time);
+  }
+  return h;
+}
+
+std::string TraceSink::digest_hex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(digest()));
+  return buf;
+}
+
+void TraceSink::clear() {
+  events_.clear();
+  packets_.clear();
+  open_packet_ = -1;
+}
+
+TraceSink* trace_sink() { return g_sink; }
+
+ScopedTrace::ScopedTrace(TraceSink& sink) : prev_(g_sink) { g_sink = &sink; }
+
+ScopedTrace::~ScopedTrace() { g_sink = prev_; }
+
+PacketTrace::PacketTrace(int src, int dst, const bool* delivered)
+    : sink_(g_sink), delivered_(delivered) {
+  if (sink_) sink_->begin_packet(src, dst);
+}
+
+PacketTrace::~PacketTrace() {
+  if (sink_) sink_->end_packet(*delivered_);
+}
+
+}  // namespace gdvr::obs

@@ -1,0 +1,136 @@
+// Packet-trace sink: per-packet hop events from the routers and the
+// simulated control plane, recorded only when a sink is installed.
+//
+// The paper's claims are trajectory-level (per-hop greedy choice of estimated
+// end-to-end cost, MDT-greedy's guaranteed delivery), so tests need to see
+// *how* a packet travelled, not just whether it arrived. A TraceSink records
+// one event per forwarding decision or physical transmission:
+//
+//  * kGreedy    -- the protocol's primary forwarding rule chose `next`
+//                  (GDV's DV-style cost minimization, MDT-greedy's closest
+//                  neighbor, GPSR/NADV greedy advance, a DV table hop);
+//  * kRecovery  -- a fallback mode chose `next` (GDV falling back to
+//                  MDT-greedy, GR/perimeter traversal after a greedy local
+//                  minimum);
+//  * kRelay     -- one physical hop of a stored virtual-link path (no
+//                  decision is made at relays; revisits are legal here);
+//  * kControl   -- one control-plane transmission in NetSim (opt-in via
+//                  set_trace_control, because protocol sims send thousands).
+//
+// `estimate` carries the deciding node's own estimated remaining cost to the
+// destination at decision time (virtual distance for geographic modes, table
+// cost for DV); 0 for relay/control events. `time` is simulation time, 0 for
+// offline routing.
+//
+// Overhead contract: tracing is OFF unless a sink is installed in the
+// current thread. Every emission site guards on one thread-local pointer
+// load; with no sink installed that is the entire cost. The sink pointer is
+// thread-local so ParallelTrials workers can trace independent trials
+// without synchronization, keeping traces bit-identical to sequential runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gdvr::obs {
+
+enum class HopMode : std::uint8_t {
+  kGreedy = 0,
+  kRecovery = 1,
+  kRelay = 2,
+  kControl = 3,
+};
+
+const char* hop_mode_name(HopMode mode);
+
+struct HopEvent {
+  std::int32_t packet = -1;  // index into packets(); -1 for control events
+  std::int32_t node = -1;    // deciding / transmitting node
+  std::int32_t next = -1;    // chosen next hop (virtual-link endpoint for a
+                             // DT decision; physically adjacent otherwise)
+  HopMode mode = HopMode::kGreedy;
+  double estimate = 0.0;     // node's estimated remaining cost at decision time
+  double time = 0.0;         // simulation time (0 for offline routing)
+};
+
+struct PacketRecord {
+  std::int32_t src = -1;
+  std::int32_t dst = -1;
+  bool delivered = false;
+  bool closed = false;
+};
+
+class TraceSink {
+ public:
+  // Opens a new packet; subsequent hop() calls attach to it until
+  // end_packet. Returns the packet index.
+  int begin_packet(int src, int dst);
+  void end_packet(bool delivered);
+
+  // Records one hop event against the currently open packet (or packet -1
+  // for control events emitted outside any packet).
+  void hop(int node, int next, HopMode mode, double estimate, double time = 0.0);
+
+  // Control-plane transmissions (NetSim sends) are high-volume; they are
+  // only recorded when explicitly enabled.
+  void set_trace_control(bool on) { trace_control_ = on; }
+  bool trace_control() const { return trace_control_; }
+
+  const std::vector<HopEvent>& events() const { return events_; }
+  const std::vector<PacketRecord>& packets() const { return packets_; }
+  // Events of one packet, in order (linear scan; test-side convenience).
+  std::vector<HopEvent> packet_events(int packet) const;
+
+  // Order-sensitive 64-bit FNV-1a digest over every packet record and every
+  // event (including exact bit patterns of estimates and times). Two runs
+  // produce equal digests iff their full forwarding behavior is identical.
+  std::uint64_t digest() const;
+  // digest() as fixed-width lowercase hex, for pinning in golden tests.
+  std::string digest_hex() const;
+
+  void clear();
+
+ private:
+  std::vector<HopEvent> events_;
+  std::vector<PacketRecord> packets_;
+  int open_packet_ = -1;
+  bool trace_control_ = false;
+};
+
+// The thread-local active sink; nullptr when tracing is disabled.
+TraceSink* trace_sink();
+
+// Installs `sink` as the current thread's active sink for the lifetime of
+// the scope, restoring the previous sink (usually nullptr) on destruction.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(TraceSink& sink);
+  ~ScopedTrace();
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  TraceSink* prev_;
+};
+
+// Emission guard used by the routers: one TLS load when tracing is off.
+inline void trace_hop(int node, int next, HopMode mode, double estimate, double time = 0.0) {
+  if (TraceSink* s = trace_sink()) s->hop(node, next, mode, estimate, time);
+}
+
+// Packet lifetime guard for a route_* call: begins a packet when a sink is
+// installed and closes it with the delivery flag on scope exit.
+class PacketTrace {
+ public:
+  PacketTrace(int src, int dst, const bool* delivered);
+  ~PacketTrace();
+  PacketTrace(const PacketTrace&) = delete;
+  PacketTrace& operator=(const PacketTrace&) = delete;
+
+ private:
+  TraceSink* sink_;
+  const bool* delivered_;
+};
+
+}  // namespace gdvr::obs

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "graph/graph.hpp"
+#include "obs/trace.hpp"
 
 namespace gdvr::routing {
 
@@ -85,6 +86,7 @@ NodeId DistanceVector::next_hop(NodeId u, NodeId t) const {
 
 RouteResult DistanceVector::route(NodeId s, NodeId t) const {
   RouteResult res;
+  obs::PacketTrace trace(s, t, &res.success);
   int cur = s;
   const int budget = 4 * net_.size() + 16;
   while (cur != t) {
@@ -93,6 +95,9 @@ RouteResult DistanceVector::route(NodeId s, NodeId t) const {
     if (next < 0 || next == cur || !net_.alive(next)) return res;
     const double c = net_.link_cost(cur, next);
     if (!(c < graph::kInf)) return res;
+    // A table-driven hop is the protocol's primary mode; the estimate is the
+    // node's current table cost to the destination.
+    obs::trace_hop(cur, next, obs::HopMode::kGreedy, cost(cur, t));
     if (res.path.empty()) res.path.push_back(cur);
     res.path.push_back(next);
     res.cost += c;

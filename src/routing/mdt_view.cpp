@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "geom/delaunay.hpp"
+#include "obs/profile.hpp"
 
 namespace gdvr::routing {
 
@@ -32,6 +33,7 @@ MdtView snapshot_overlay(const mdt::MdtOverlay& overlay, const graph::Graph& met
 }
 
 MdtView centralized_mdt(std::span<const Vec> positions, const graph::Graph& metric) {
+  GDVR_PROFILE_SCOPE("routing.centralized_mdt");
   MdtView view;
   const int n = metric.size();
   GDVR_ASSERT(static_cast<int>(positions.size()) == n);

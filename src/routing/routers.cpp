@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
+
 namespace gdvr::routing {
 
 namespace {
@@ -27,6 +29,7 @@ int traverse_path(const MdtView& view, RouteResult& res, const std::vector<int>&
     const int a = path[i], b = path[i + 1];
     if (!view.is_alive(b)) return -1;
     if (!take_link(*view.metric, res, a, b)) return -1;
+    obs::trace_hop(a, b, obs::HopMode::kRelay, 0.0);
     if (b == t) return t;
   }
   return path.back();
@@ -36,8 +39,11 @@ int transmission_budget(const MdtView& view) { return 12 * view.size() + 64; }
 
 // MDT-greedy step from `cur` toward view.pos[t]: closest physical neighbor
 // if it makes progress, else closest multi-hop DT neighbor. Returns the new
-// current node, or -1 at a local minimum / broken state.
-int mdt_greedy_step(const MdtView& view, RouteResult& res, int cur, int t) {
+// current node, or -1 at a local minimum / broken state. `mode` tags the
+// decision's trace events (kGreedy when MDT-greedy is the primary protocol,
+// kRecovery when it runs as GDV's fallback).
+int mdt_greedy_step(const MdtView& view, RouteResult& res, int cur, int t,
+                    obs::HopMode mode = obs::HopMode::kGreedy) {
   const Vec& tp = view.pos[static_cast<std::size_t>(t)];
   const double own = view.pos[static_cast<std::size_t>(cur)].distance(tp);
   int best_phys = -1;
@@ -52,6 +58,7 @@ int mdt_greedy_step(const MdtView& view, RouteResult& res, int cur, int t) {
   }
   if (best_phys >= 0) {
     if (!take_link(*view.metric, res, cur, best_phys)) return -1;
+    obs::trace_hop(cur, best_phys, mode, own);
     return best_phys;
   }
   const MdtView::DtNbr* best_dt = nullptr;
@@ -65,6 +72,7 @@ int mdt_greedy_step(const MdtView& view, RouteResult& res, int cur, int t) {
     }
   }
   if (!best_dt) return -1;  // local minimum: the multi-hop DT is incomplete here
+  obs::trace_hop(cur, best_dt->id, mode, own);
   return traverse_path(view, res, best_dt->path, t);
 }
 
@@ -119,6 +127,8 @@ int perimeter_mode(std::span<const Vec> pos, const graph::Graph& metric,
     if (!first && std::pair<int, int>{cur, next} == first_edge) return -1;  // full loop
     first = false;
     if (!take_link(metric, res, cur, next)) return -1;
+    obs::trace_hop(cur, next, obs::HopMode::kRecovery,
+                   pos[static_cast<std::size_t>(cur)].distance(tp));
     const int prev = cur;
     cur = next;
     if (cur == t) return cur;
@@ -135,6 +145,7 @@ int perimeter_mode(std::span<const Vec> pos, const graph::Graph& metric,
 
 RouteResult route_gdv(const MdtView& view, int s, int t) {
   RouteResult res;
+  obs::PacketTrace trace(s, t, &res.success);
   const graph::Graph& metric = *view.metric;
   const Vec& tp = view.pos[static_cast<std::size_t>(t)];
   const int budget = transmission_budget(view);
@@ -170,15 +181,17 @@ RouteResult route_gdv(const MdtView& view, int s, int t) {
       // Line 4: forward directly or along the stored multi-hop path.
       if (best_phys >= 0) {
         if (!take_link(metric, res, cur, best_phys)) return res;
+        obs::trace_hop(cur, best_phys, obs::HopMode::kGreedy, own);
         cur = best_phys;
       } else {
+        obs::trace_hop(cur, best_dt->id, obs::HopMode::kGreedy, own);
         cur = traverse_path(view, res, best_dt->path, t);
         if (cur < 0) return res;
       }
       continue;
     }
     // Line 5: MDT-greedy fallback (guaranteed delivery on a correct DT).
-    cur = mdt_greedy_step(view, res, cur, t);
+    cur = mdt_greedy_step(view, res, cur, t, obs::HopMode::kRecovery);
     if (cur < 0) return res;
   }
   res.success = true;
@@ -187,6 +200,7 @@ RouteResult route_gdv(const MdtView& view, int s, int t) {
 
 RouteResult route_gdv_basic(const MdtView& view, int s, int t, const PlanarGraph* recovery) {
   RouteResult res;
+  obs::PacketTrace trace(s, t, &res.success);
   const graph::Graph& metric = *view.metric;
   const Vec& tp = view.pos[static_cast<std::size_t>(t)];
   const int budget = transmission_budget(view);
@@ -207,6 +221,7 @@ RouteResult route_gdv_basic(const MdtView& view, int s, int t, const PlanarGraph
     }
     if (best >= 0 && best_r < own) {
       if (!take_link(metric, res, cur, best)) return res;
+      obs::trace_hop(cur, best, obs::HopMode::kGreedy, own);
       cur = best;
       continue;
     }
@@ -223,6 +238,7 @@ RouteResult route_gdv_basic(const MdtView& view, int s, int t, const PlanarGraph
     }
     if (closest >= 0) {
       if (!take_link(metric, res, cur, closest)) return res;
+      obs::trace_hop(cur, closest, obs::HopMode::kRecovery, own);
       cur = closest;
       continue;
     }
@@ -236,6 +252,7 @@ RouteResult route_gdv_basic(const MdtView& view, int s, int t, const PlanarGraph
 
 RouteResult route_mdt_greedy(const MdtView& view, int s, int t) {
   RouteResult res;
+  obs::PacketTrace trace(s, t, &res.success);
   const int budget = transmission_budget(view);
   int cur = s;
   while (cur != t) {
@@ -250,6 +267,7 @@ RouteResult route_mdt_greedy(const MdtView& view, int s, int t) {
 RouteResult route_nadv(std::span<const Vec> pos, const graph::Graph& metric,
                        const PlanarGraph& planar, int s, int t) {
   RouteResult res;
+  obs::PacketTrace trace(s, t, &res.success);
   const Vec& tp = pos[static_cast<std::size_t>(t)];
   const int budget = 12 * metric.size() + 64;
   int cur = s;
@@ -271,6 +289,7 @@ RouteResult route_nadv(std::span<const Vec> pos, const graph::Graph& metric,
     }
     if (best >= 0) {
       if (!take_link(metric, res, cur, best)) return res;
+      obs::trace_hop(cur, best, obs::HopMode::kGreedy, own);
       cur = best;
       continue;
     }
@@ -284,6 +303,7 @@ RouteResult route_nadv(std::span<const Vec> pos, const graph::Graph& metric,
 RouteResult route_gpsr(std::span<const Vec> pos, const graph::Graph& metric,
                        const PlanarGraph& planar, int s, int t) {
   RouteResult res;
+  obs::PacketTrace trace(s, t, &res.success);
   const Vec& tp = pos[static_cast<std::size_t>(t)];
   const int budget = 12 * metric.size() + 64;
   int cur = s;
@@ -301,6 +321,7 @@ RouteResult route_gpsr(std::span<const Vec> pos, const graph::Graph& metric,
     }
     if (best >= 0) {
       if (!take_link(metric, res, cur, best)) return res;
+      obs::trace_hop(cur, best, obs::HopMode::kGreedy, own);
       cur = best;
       continue;
     }

@@ -27,6 +27,7 @@
 
 #include "common/rng.hpp"
 #include "graph/graph.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace gdvr::sim {
@@ -129,6 +130,10 @@ class NetSim {
     if (!link_usable(from, to)) return false;
     ++sent_[static_cast<std::size_t>(from)];
     ++total_sent_;
+    // Control-plane tracing: one event per counted transmission (loss and
+    // duplication are delivery-side effects and do not change the record).
+    if (obs::TraceSink* sink = obs::trace_sink(); sink && sink->trace_control())
+      sink->hop(from, to, obs::HopMode::kControl, 0.0, sim_.now());
     if (fault_loss_ > 0.0 && rng_.bernoulli(fault_loss_)) {
       ++lost_;
       ++fault_lost_;

@@ -163,6 +163,7 @@ double Vpod::adjustment_timeout(NodeId u) const {
 void Vpod::adjust(NodeId u) {
   const auto views = overlay_.neighbor_views(u);
   if (views.empty()) return;
+  ++adjustments_;
 
   Vec x = overlay_.position(u);
   double eu = overlay_.error(u);

@@ -68,6 +68,11 @@ class Vpod {
   // Number of completed A periods at node u (the figures' x axis).
   int completed_periods(NodeId u) const { return periods_[static_cast<std::size_t>(u)]; }
 
+  // Total Figure-6 position adjustments executed across all nodes (each one
+  // pushes a kPosUpdate to every physical and DT neighbor) -- the "VPoD
+  // updates" metric the observability registry exports.
+  std::uint64_t adjustments() const { return adjustments_; }
+
   // --- churn (Sec. IV-H) ---------------------------------------------------
   // Node fails silently.
   void fail_node(NodeId u);
@@ -112,6 +117,7 @@ class Vpod {
   mdt::MdtOverlay overlay_;
   std::vector<NodeCtl> ctl_;
   std::vector<int> periods_;
+  std::uint64_t adjustments_ = 0;
   Rng rng_;
   NodeId starting_node_ = -1;
 };

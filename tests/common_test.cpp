@@ -180,6 +180,99 @@ TEST(Stats, Percentile) {
   EXPECT_DOUBLE_EQ(median_of({4.0, 1.0, 3.0, 2.0}), 2.5);
 }
 
+TEST(Stats, MergeEdgeCases) {
+  // Merging an empty operand (either side) must be exact, not just close.
+  RunningStat filled;
+  for (double x : {1.0, 2.0, 6.0}) filled.add(x);
+  const double mean = filled.mean(), var = filled.variance();
+
+  RunningStat empty_rhs = filled;
+  empty_rhs.merge(RunningStat{});
+  EXPECT_EQ(empty_rhs.count(), 3u);
+  EXPECT_DOUBLE_EQ(empty_rhs.mean(), mean);
+  EXPECT_DOUBLE_EQ(empty_rhs.variance(), var);
+
+  RunningStat empty_lhs;
+  empty_lhs.merge(filled);
+  EXPECT_EQ(empty_lhs.count(), 3u);
+  EXPECT_DOUBLE_EQ(empty_lhs.mean(), mean);
+  EXPECT_DOUBLE_EQ(empty_lhs.variance(), var);
+  EXPECT_DOUBLE_EQ(empty_lhs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(empty_lhs.max(), 6.0);
+
+  RunningStat both_empty;
+  both_empty.merge(RunningStat{});
+  EXPECT_EQ(both_empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(both_empty.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(both_empty.min(), 0.0);
+
+  // Self-merge (a copy of oneself) doubles the count, keeps the mean, and
+  // keeps the variance finite and correct.
+  RunningStat self = filled;
+  self.merge(filled);
+  EXPECT_EQ(self.count(), 6u);
+  EXPECT_NEAR(self.mean(), mean, 1e-12);
+  // Var of {1,2,6,1,2,6} with n-1 denominator: mean 3, ss = 2*(4+1+9) = 28, /5.
+  EXPECT_NEAR(self.variance(), 28.0 / 5.0, 1e-12);
+}
+
+TEST(Stats, MergeIsOrderInsensitive) {
+  // a.merge(b) and b.merge(a) agree to floating-point roundoff, and both
+  // match the stat over the concatenated stream.
+  RunningStat a, b, all;
+  Rng rng(17);
+  for (int i = 0; i < 60; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    (i < 20 ? a : b).add(x);  // deliberately unequal sizes
+    all.add(x);
+  }
+  RunningStat ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_NEAR(ab.mean(), ba.mean(), 1e-12);
+  EXPECT_NEAR(ab.variance(), ba.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(ab.min(), ba.min());
+  EXPECT_DOUBLE_EQ(ab.max(), ba.max());
+  EXPECT_NEAR(ab.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(ab.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, SingleSampleVarianceIsZero) {
+  RunningStat rs;
+  rs.add(42.0);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);  // n-1 denominator must not divide by 0
+  EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 42.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 42.0);
+
+  // Merging two singletons gives a well-defined two-sample variance.
+  RunningStat other;
+  other.add(44.0);
+  rs.merge(other);
+  EXPECT_EQ(rs.count(), 2u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 43.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 2.0);
+}
+
+TEST(Stats, PercentileEndpointsAndTwoElements) {
+  // q = 0 / q = 1 must hit the exact extremes without interpolation
+  // artifacts, including on single- and two-element inputs.
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 1.0), 7.0);
+
+  const std::vector<double> two{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(two, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(two, 1.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(two, 0.5), 15.0);   // linear interpolation
+  EXPECT_DOUBLE_EQ(percentile(two, 0.25), 12.5);
+  // Unsorted input is sorted internally.
+  EXPECT_DOUBLE_EQ(percentile({20.0, 10.0}, 0.75), 17.5);
+}
+
 TEST(Stats, MeanStddevSpan) {
   const std::vector<double> xs{1.0, 3.0, 5.0};
   EXPECT_DOUBLE_EQ(mean_of(xs), 3.0);

@@ -1,0 +1,225 @@
+// Golden-trace regression tests: canonical seeded scenarios whose full
+// hop-by-hop trace digest is pinned. Any change to forwarding behavior --
+// tie-breaks, cost arithmetic, fallback triggering, control-plane schedule
+// -- flips the digest and fails here.
+//
+// Refresh workflow: when a failure is an *intended* behavior change, run the
+// failing test (the assertion message prints the new digest) and paste the
+// new value over the pinned constant. Digests hash exact double bit
+// patterns, so they are stable across runs, optimization levels, and thread
+// counts on the CI platform (x86-64 SSE2 IEEE doubles, no -ffast-math).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "obs/trace.hpp"
+#include "radio/topology.hpp"
+#include "routing/distance_vector.hpp"
+#include "routing/mdt_view.hpp"
+#include "routing/planar.hpp"
+#include "routing/routers.hpp"
+#include "sim/simulator.hpp"
+
+namespace gdvr::routing {
+namespace {
+
+radio::Topology golden_topo(int n, std::uint64_t seed, int obstacles = 0) {
+  radio::TopologyConfig tc;
+  tc.n = n;
+  tc.seed = seed;
+  tc.num_obstacles = obstacles;
+  tc.obstacle_size_m = 10.0;
+  tc.target_avg_degree = 14.5;
+  return radio::make_random_topology(tc);
+}
+
+// Routes `pairs` rng-drawn (s, t) pairs under the installed sink.
+template <typename RouteFn>
+int route_pairs(int n, int pairs, std::uint64_t seed, RouteFn&& route) {
+  Rng rng(seed);
+  int delivered = 0;
+  for (int k = 0; k < pairs; ++k) {
+    const int s = rng.uniform_index(n);
+    int t = rng.uniform_index(n - 1);
+    if (t >= s) ++t;
+    if (route(s, t).success) ++delivered;
+  }
+  return delivered;
+}
+
+int count_mode(const obs::TraceSink& sink, obs::HopMode mode) {
+  int n = 0;
+  for (const obs::HopEvent& e : sink.events())
+    if (e.mode == mode) ++n;
+  return n;
+}
+
+void expect_digest(const obs::TraceSink& sink, const std::string& expected) {
+  EXPECT_EQ(sink.digest_hex(), expected)
+      << "golden trace changed (" << sink.events().size() << " events, "
+      << sink.packets().size() << " packets); if the behavior change is "
+      << "intended, pin the new digest printed above";
+}
+
+// ---------- pinned scenarios ----------
+
+TEST(GoldenTrace, GdvOnEtxTopology) {
+  const radio::Topology topo = golden_topo(60, 7);
+  const MdtView view = centralized_mdt(topo.positions, topo.etx);
+  obs::TraceSink sink;
+  {
+    obs::ScopedTrace scope(sink);
+    const int ok = route_pairs(topo.size(), 30, 21,
+                               [&](int s, int t) { return route_gdv(view, s, t); });
+    EXPECT_EQ(ok, 30);  // guaranteed delivery on a correct MDT
+  }
+  EXPECT_EQ(sink.packets().size(), 30u);
+  EXPECT_GT(count_mode(sink, obs::HopMode::kGreedy), 0);
+  expect_digest(sink, "3f8504a78482777d");
+}
+
+TEST(GoldenTrace, MdtGreedyOnEtxTopology) {
+  const radio::Topology topo = golden_topo(60, 7);
+  const MdtView view = centralized_mdt(topo.positions, topo.etx);
+  obs::TraceSink sink;
+  {
+    obs::ScopedTrace scope(sink);
+    const int ok = route_pairs(topo.size(), 30, 33,
+                               [&](int s, int t) { return route_mdt_greedy(view, s, t); });
+    EXPECT_EQ(ok, 30);
+  }
+  EXPECT_EQ(sink.packets().size(), 30u);
+  expect_digest(sink, "f4cab5045f7efa8d");
+}
+
+// Recovery-mode scenario: four 10 m obstacles punch holes into the radio
+// graph, so plain greedy hits local minima and GPSR's perimeter traversal
+// (kRecovery events) must carry packets around them.
+TEST(GoldenTrace, GpsrObstaclePerimeter) {
+  const radio::Topology topo = golden_topo(80, 12, /*obstacles=*/4);
+  const PlanarGraph planar(topo.positions, topo.etx);
+  obs::TraceSink sink;
+  {
+    obs::ScopedTrace scope(sink);
+    route_pairs(topo.size(), 150, 5, [&](int s, int t) {
+      return route_gpsr(topo.positions, topo.etx, planar, s, t);
+    });
+  }
+  EXPECT_GT(count_mode(sink, obs::HopMode::kRecovery), 0)
+      << "obstacle scenario no longer exercises perimeter recovery";
+  expect_digest(sink, "6814eb29090e7faa");
+}
+
+// GDV over the same obstacle field: the DV rule plus its MDT-greedy fallback
+// (kRecovery) and virtual-link relays (kRelay).
+TEST(GoldenTrace, GdvObstacleFallback) {
+  const radio::Topology topo = golden_topo(80, 12, /*obstacles=*/4);
+  const MdtView view = centralized_mdt(topo.positions, topo.etx);
+  obs::TraceSink sink;
+  {
+    obs::ScopedTrace scope(sink);
+    const int ok = route_pairs(topo.size(), 40, 5,
+                               [&](int s, int t) { return route_gdv(view, s, t); });
+    EXPECT_EQ(ok, 40);
+  }
+  EXPECT_GT(count_mode(sink, obs::HopMode::kRelay), 0)
+      << "obstacle detours should traverse virtual-link relays";
+  expect_digest(sink, "bb72f1cbb65e9f08");
+}
+
+// Control-plane golden trace: every NetSim transmission of a Distance Vector
+// convergence run, with simulation timestamps, plus the table-driven routes
+// afterwards. Pins the full protocol schedule, not just routing decisions.
+TEST(GoldenTrace, DistanceVectorControlSchedule) {
+  const radio::Topology topo = golden_topo(30, 5);
+  sim::Simulator sim;
+  sim::NetSim<DvMsg> net(sim, topo.etx, 0.01, 0.1, /*seed=*/99);
+  DistanceVector dv(net);
+  obs::TraceSink sink;
+  sink.set_trace_control(true);
+  {
+    obs::ScopedTrace scope(sink);
+    dv.start();
+    sim.run_until(30.0);
+    EXPECT_TRUE(dv.converged());
+    const int ok =
+        route_pairs(topo.size(), 10, 17, [&](int s, int t) { return dv.route(s, t); });
+    EXPECT_EQ(ok, 10);
+  }
+  const int control = count_mode(sink, obs::HopMode::kControl);
+  EXPECT_GT(control, 100) << "DV advertisement schedule shrank unexpectedly";
+  EXPECT_EQ(sink.packets().size(), 10u);
+  // Control events carry simulation time.
+  double last_time = 0.0;
+  for (const obs::HopEvent& e : sink.events())
+    if (e.mode == obs::HopMode::kControl) last_time = e.time;
+  EXPECT_GT(last_time, 0.0);
+  expect_digest(sink, "423943571fec1fbc");
+}
+
+// ---------- thread-count invariance ----------
+
+// One self-contained trial: GDV plus (on obstacle trials) GPSR perimeter
+// routing, traced into a trial-local sink. Everything derives from the trial
+// index; nothing is shared, so the digest must not depend on which worker
+// thread ran the trial or on how many workers exist.
+struct TrialResult {
+  std::string digest;
+  int recovery = 0;
+};
+
+TrialResult run_trial(int i) {
+  const bool obstacles = (i % 2) == 1;
+  const radio::Topology topo = golden_topo(50, 100 + static_cast<std::uint64_t>(i),
+                                           obstacles ? 4 : 0);
+  const MdtView view = centralized_mdt(topo.positions, topo.etx);
+  obs::TraceSink sink;
+  {
+    obs::ScopedTrace scope(sink);
+    route_pairs(topo.size(), 10, 7 + static_cast<std::uint64_t>(i),
+                [&](int s, int t) { return route_gdv(view, s, t); });
+    if (obstacles) {
+      const PlanarGraph planar(topo.positions, topo.etx);
+      route_pairs(topo.size(), 10, 70 + static_cast<std::uint64_t>(i), [&](int s, int t) {
+        return route_gpsr(topo.positions, topo.etx, planar, s, t);
+      });
+    }
+  }
+  TrialResult r;
+  r.digest = sink.digest_hex();
+  r.recovery = count_mode(sink, obs::HopMode::kRecovery);
+  return r;
+}
+
+std::vector<TrialResult> run_trials_with_threads(const char* threads) {
+  const char* prev = std::getenv("GDVR_THREADS");
+  const std::string saved = prev != nullptr ? prev : "";
+  setenv("GDVR_THREADS", threads, 1);
+  ParallelTrials pool(0);  // reads GDVR_THREADS
+  auto out = pool.run(8, run_trial);
+  if (prev != nullptr)
+    setenv("GDVR_THREADS", saved.c_str(), 1);
+  else
+    unsetenv("GDVR_THREADS");
+  return out;
+}
+
+TEST(GoldenTrace, DigestsIdenticalAcrossThreadCounts) {
+  const auto seq = run_trials_with_threads("1");
+  const auto par = run_trials_with_threads("4");
+  ASSERT_EQ(seq.size(), par.size());
+  int total_recovery = 0;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].digest, par[i].digest) << "trial " << i;
+    EXPECT_EQ(seq[i].recovery, par[i].recovery) << "trial " << i;
+    total_recovery += seq[i].recovery;
+  }
+  EXPECT_GT(total_recovery, 0) << "no trial exercised recovery mode";
+}
+
+}  // namespace
+}  // namespace gdvr::routing

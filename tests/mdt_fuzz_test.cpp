@@ -4,10 +4,17 @@
 // maintenance rounds is applied; after every settling window the overlay's
 // internal state must satisfy the structural invariants below. This is the
 // kind of silent-corruption bug net that unit tests on fixed scenarios miss.
+// Reproduction workflow: every operation the fuzzer applies is recorded.
+// When any invariant check fails, the test prints the seed and the schedule
+// prefix that led to the failure; rerun exactly that schedule with
+// GDVR_FUZZ_SEED=<seed> ./mdt_fuzz_test --gtest_filter='*EnvSeed*'.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "mdt/overlay.hpp"
@@ -23,8 +30,11 @@ struct Fuzzer {
   std::unique_ptr<Net> net;
   std::unique_ptr<MdtOverlay> overlay;
   Rng rng;
+  std::uint64_t seed;
+  // Every applied operation, in order -- the failure-reproduction transcript.
+  std::vector<std::string> schedule;
 
-  explicit Fuzzer(std::uint64_t seed) : rng(seed) {
+  explicit Fuzzer(std::uint64_t fuzz_seed) : rng(fuzz_seed), seed(fuzz_seed) {
     radio::TopologyConfig tc;
     tc.n = 60;
     tc.seed = seed;
@@ -45,6 +55,7 @@ struct Fuzzer {
   }
 
   void maintenance() {
+    schedule.push_back("maintenance @" + std::to_string(sim.now()));
     const double base = sim.now();
     for (int u = 0; u < topo.size(); ++u) {
       if (!net->alive(u)) continue;
@@ -59,8 +70,10 @@ struct Fuzzer {
     const int pick = rng.uniform_index(10);
     const int u = rng.uniform_index(topo.size());
     if (pick < 2 && u != 0 && net->alive(u)) {
+      schedule.push_back("deactivate " + std::to_string(u));
       overlay->deactivate(u);
     } else if (pick < 4 && !net->alive(u)) {
+      schedule.push_back("rejoin " + std::to_string(u));
       net->set_alive(u, true);
       // Rejoin near the true position with some noise.
       Vec pos = topo.positions[static_cast<std::size_t>(u)];
@@ -69,13 +82,25 @@ struct Fuzzer {
       overlay->activate(u, pos, false);
       overlay->start_join(u);
     } else if (pick < 7 && net->alive(u) && overlay->active(u)) {
+      schedule.push_back("move " + std::to_string(u));
       // Position adjustment, as VPoD would make.
       Vec pos = overlay->position(u);
       pos[0] += rng.normal(0.0, 1.0);
       pos[1] += rng.normal(0.0, 1.0);
       overlay->set_position(u, pos, rng.uniform(0.05, 1.0));
+    } else {
+      schedule.push_back("noop " + std::to_string(u));
     }
     sim.run_until(sim.now() + rng.uniform(0.2, 1.5));
+  }
+
+  // Prints the seed and the operation prefix that led here; called when an
+  // invariant check has failed so the schedule can be replayed.
+  void dump_schedule() const {
+    std::string out = "fuzz failure: reproduce with GDVR_FUZZ_SEED=" + std::to_string(seed) +
+                      "\nschedule prefix (" + std::to_string(schedule.size()) + " ops):\n";
+    for (const std::string& op : schedule) out += "  " + op + "\n";
+    ADD_FAILURE() << out;
   }
 
   void check_invariants(const char* phase) {
@@ -116,16 +141,18 @@ struct Fuzzer {
   }
 };
 
-class MdtFuzz : public ::testing::TestWithParam<std::uint64_t> {};
-
-TEST_P(MdtFuzz, InvariantsHoldUnderRandomChurn) {
-  Fuzzer f(GetParam());
+// The shared fuzz loop: `rounds` churn rounds against one seed, dumping the
+// seed and schedule prefix on the first round whose invariants fail.
+void run_fuzz(std::uint64_t seed, int rounds) {
+  Fuzzer f(seed);
   f.check_invariants("after bootstrap");
-  for (int round = 0; round < 4; ++round) {
+  if (::testing::Test::HasFailure()) return f.dump_schedule();
+  for (int round = 0; round < rounds; ++round) {
     for (int op = 0; op < 8; ++op) f.random_op();
     f.maintenance();
     f.maintenance();
     f.check_invariants("after churn round");
+    if (::testing::Test::HasFailure()) return f.dump_schedule();
   }
   // Nothing crashed, every invariant held, and the network still functions:
   // alive nodes with neighbors are joined again after the final maintenance.
@@ -137,9 +164,25 @@ TEST_P(MdtFuzz, InvariantsHoldUnderRandomChurn) {
   }
   EXPECT_GT(alive, f.topo.size() / 2);
   EXPECT_GE(joined, alive * 8 / 10);  // stragglers may still be rejoining
+  if (::testing::Test::HasFailure()) f.dump_schedule();
 }
 
+class MdtFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MdtFuzz, InvariantsHoldUnderRandomChurn) { run_fuzz(GetParam(), 4); }
+
 INSTANTIATE_TEST_SUITE_P(Seeds, MdtFuzz, ::testing::Values(11u, 22u, 33u, 44u));
+
+// Directed reproduction / exploration: GDVR_FUZZ_SEED=<n> runs one longer
+// fuzz with that exact seed (the schedule is fully determined by it).
+// Skipped when the variable is unset, so CI runs are unaffected.
+TEST(MdtFuzzEnv, EnvSeedSchedule) {
+  const char* env = std::getenv("GDVR_FUZZ_SEED");
+  if (env == nullptr || env[0] == '\0')
+    GTEST_SKIP() << "set GDVR_FUZZ_SEED=<seed> to fuzz a specific schedule";
+  const std::uint64_t seed = std::strtoull(env, nullptr, 10);
+  run_fuzz(seed, 8);
+}
 
 }  // namespace
 }  // namespace gdvr::mdt

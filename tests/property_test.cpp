@@ -5,9 +5,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include <set>
+
 #include "common/rng.hpp"
 #include "eval/routing_eval.hpp"
 #include "geom/delaunay.hpp"
+#include "obs/trace.hpp"
 #include "radio/topology.hpp"
 #include "routing/mdt_view.hpp"
 #include "routing/routers.hpp"
@@ -96,6 +99,68 @@ TEST_P(SeedSweep, RouteResultsAreDeterministic) {
   const auto b = routing::route_gdv(view, 0, topo.size() - 1);
   EXPECT_EQ(a.success, b.success);
   EXPECT_EQ(a.path, b.path);
+}
+
+// --- trace-level forwarding properties ---------------------------------------
+//
+// Both GDV's DV rule and MDT-greedy only ever step to a node strictly closer
+// (in the embedding) to the destination than the decision point, so along any
+// packet the deciding nodes' own-distance estimates strictly decrease -- and
+// therefore no node makes a forwarding decision twice (loop freedom). The
+// documented exceptions are kRelay events: physical hops of a stored
+// virtual-link path, where intermediate nodes make no decision and revisits
+// are legal.
+
+void check_traced_forwarding(int space_dim, std::uint64_t seed) {
+  radio::TopologyConfig tc;
+  tc.n = 60;
+  tc.seed = seed;
+  tc.space_dim = space_dim;
+  tc.target_avg_degree = 14.5;
+  const radio::Topology topo = radio::make_random_topology(tc);
+  const auto view = routing::centralized_mdt(topo.positions, topo.etx);
+
+  obs::TraceSink sink;
+  {
+    obs::ScopedTrace scope(sink);
+    Rng rng(seed + 1);
+    for (int i = 0; i < 40; ++i) {
+      const int s = rng.uniform_index(topo.size());
+      int t = rng.uniform_index(topo.size() - 1);
+      if (t >= s) ++t;
+      ASSERT_TRUE(routing::route_gdv(view, s, t).success);
+      ASSERT_TRUE(routing::route_mdt_greedy(view, s, t).success);
+    }
+  }
+
+  ASSERT_EQ(sink.packets().size(), 80u);
+  for (int p = 0; p < static_cast<int>(sink.packets().size()); ++p) {
+    ASSERT_TRUE(sink.packets()[static_cast<std::size_t>(p)].closed);
+    EXPECT_TRUE(sink.packets()[static_cast<std::size_t>(p)].delivered);
+    std::set<int> deciders;
+    double prev_estimate = graph::kInf;
+    for (const obs::HopEvent& e : sink.packet_events(p)) {
+      if (e.mode == obs::HopMode::kRelay) {
+        EXPECT_EQ(e.estimate, 0.0);  // relays make no decision
+        continue;
+      }
+      // Loop freedom over decision events.
+      EXPECT_TRUE(deciders.insert(e.node).second)
+          << "packet " << p << " revisited decision node " << e.node;
+      // Estimated remaining cost is monotone (strictly) decreasing.
+      EXPECT_LT(e.estimate, prev_estimate)
+          << "packet " << p << " estimate rose at node " << e.node;
+      prev_estimate = e.estimate;
+    }
+  }
+}
+
+TEST_P(SeedSweep, TracedForwardingLoopFreeAndMonotone2D) {
+  check_traced_forwarding(/*space_dim=*/2, GetParam() + 700);
+}
+
+TEST_P(SeedSweep, TracedForwardingLoopFreeAndMonotone3D) {
+  check_traced_forwarding(/*space_dim=*/3, GetParam() + 800);
 }
 
 // --- topology generator properties -------------------------------------------
