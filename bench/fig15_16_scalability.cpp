@@ -10,10 +10,13 @@
 // sweep fans out over ParallelTrials; per-trial seeds depend only on (N, run)
 // and results aggregate in trial order, keeping the output identical to a
 // sequential run.
+#include <chrono>
+#include <cstring>
 #include <set>
 
 #include "common.hpp"
 #include "common/parallel.hpp"
+#include "graph/csr.hpp"
 #include "routing/mdt_view.hpp"
 
 using namespace gdvr;
@@ -45,9 +48,54 @@ struct Trial {
   double nst = 0, mst = 0, g2st = 0, g3st = 0, gsr = 0, nsr = 0;
 };
 
+// Large-N smoke: drives the topology -> CSR -> all-pairs pipeline at sizes
+// far beyond the paper's sweep (area still scaled for degree 14.5). No
+// figures -- this exists to prove the pipeline completes and to show its
+// wall-clock scaling. Sources for the all-pairs sweep are capped so the
+// largest size stays a smoke test rather than a coffee break.
+void large_smoke() {
+  using clock = std::chrono::steady_clock;
+  const auto ms_since = [](clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+  };
+  std::printf("Large-N pipeline smoke | avg degree 14.5\n");
+  std::printf("%6s %10s %10s %8s %10s %12s\n", "N", "gen_ms", "degree", "edges",
+              "csr_ms", "sssp_ms/src");
+  for (const int n : {2000, 5000}) {
+    auto t0 = clock::now();
+    const radio::Topology topo = paper_topology(n, 97);
+    const double gen_ms = ms_since(t0);
+
+    t0 = clock::now();
+    const graph::CsrGraph csr(topo.etx);
+    const double csr_ms = ms_since(t0);
+
+    // Shortest-path trees from a capped number of sources (the all-pairs
+    // kernel, sampled): enough to exercise the parallel sweep end to end.
+    const int sources = std::min(csr.size(), 200);
+    t0 = clock::now();
+    graph::DijkstraWorkspace ws;
+    double reach = 0.0;
+    for (int s = 0; s < sources; ++s) {
+      const auto& sp = graph::dijkstra(csr, s, ws);
+      for (const double d : sp.dist) reach += d < graph::kInf ? 1.0 : 0.0;
+    }
+    const double sssp_ms = ms_since(t0) / sources;
+    GDVR_ASSERT(reach > 0.0);
+
+    std::printf("%6d %10.1f %10.2f %8zu %10.1f %12.3f\n", topo.size(), gen_ms,
+                topo.etx.average_degree(), csr.edge_count(), csr_ms, sssp_ms);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--large") == 0) {
+      large_smoke();
+      return 0;
+    }
   const bool full = full_mode(argc, argv);
   const int runs = full ? 20 : 1;
   const int periods = full ? 25 : 10;

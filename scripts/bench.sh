@@ -6,10 +6,23 @@
 #   scripts/bench.sh                 # full suite, BENCH_core.json
 #   scripts/bench.sh --quick         # fast smoke pass, no JSON rewrite
 #   scripts/bench.sh --filter REGEX  # subset, no JSON rewrite
+#   scripts/bench.sh --compare       # run the suite and diff cpu_time against
+#                                    # the committed BENCH_core.json; exits
+#                                    # nonzero if any benchmark regressed by
+#                                    # more than GDVR_BENCH_TOLERANCE (default
+#                                    # 0.25 = 25%). No JSON rewrite.
 #   scripts/bench.sh --profile       # GDVR_PROFILE=1 run: appends the scoped
 #                                    # timer report (Delaunay build, overlay
 #                                    # recompute, dijkstra) to stderr;
 #                                    # no JSON rewrite (timers add overhead)
+#
+# The run's google-benchmark library_build_type is checked from the JSON
+# context: a non-release benchmark library inflates timer overhead, so the
+# script warns loudly when the snapshot or comparison was produced against a
+# debug library. (Distro packages often ship debug; the warning annotates
+# rather than refuses so the suite stays runnable on such hosts -- compare
+# runs are still valid as long as baseline and candidate used the same
+# library, which the context line in BENCH_core.json records.)
 #
 # Build directory: build-rel/ (Release; created on demand, reused).
 set -euo pipefail
@@ -18,12 +31,14 @@ cd "$(dirname "$0")/.."
 QUICK=0
 FILTER=""
 PROFILE=0
+COMPARE=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) QUICK=1; shift ;;
     --filter) FILTER="$2"; shift 2 ;;
     --profile) PROFILE=1; shift ;;
-    *) echo "usage: scripts/bench.sh [--quick] [--filter REGEX] [--profile]" >&2; exit 2 ;;
+    --compare) COMPARE=1; shift ;;
+    *) echo "usage: scripts/bench.sh [--quick] [--filter REGEX] [--compare] [--profile]" >&2; exit 2 ;;
   esac
 done
 
@@ -31,13 +46,78 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 cmake -S . -B build-rel -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-rel -j "$JOBS" --target micro_core
 
+warn_debug_lib() {
+  # $1: a benchmark JSON file. Non-fatal: annotate when the benchmark library
+  # itself was not a release build (timer overhead is inflated).
+  python3 - "$1" <<'EOF'
+import json, sys
+ctx = json.load(open(sys.argv[1])).get("context", {})
+bt = ctx.get("library_build_type", "unknown")
+if bt != "release":
+    print(f"WARNING: google-benchmark library_build_type={bt!r} (not 'release');"
+          " absolute timings carry extra overhead. Compare only against"
+          " snapshots recorded with the same library.", file=sys.stderr)
+EOF
+}
+
+if [[ "$COMPARE" == 1 ]]; then
+  if [[ ! -f BENCH_core.json ]]; then
+    echo "--compare: no BENCH_core.json baseline at repo root" >&2
+    exit 2
+  fi
+  TMP_JSON="$(mktemp /tmp/bench_compare_XXXX.json)"
+  trap 'rm -f "$TMP_JSON"' EXIT
+  ./build-rel/bench/micro_core --benchmark_min_time=0.05 \
+      --benchmark_out="$TMP_JSON" --benchmark_out_format=json
+  warn_debug_lib "$TMP_JSON"
+  python3 - BENCH_core.json "$TMP_JSON" "${GDVR_BENCH_TOLERANCE:-0.25}" <<'EOF'
+import json, sys
+
+base_path, cand_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+load = lambda p: {b["name"]: b for b in json.load(open(p))["benchmarks"]
+                  if b.get("run_type", "iteration") == "iteration"}
+base, cand = load(base_path), load(cand_path)
+
+regressed = []
+print(f"\n{'benchmark':<42} {'base':>12} {'now':>12} {'ratio':>7}")
+for name, c in cand.items():
+    b = base.get(name)
+    if b is None:
+        print(f"{name:<42} {'--':>12} {c['cpu_time']:>12.0f}   (new)")
+        continue
+    ratio = c["cpu_time"] / b["cpu_time"] if b["cpu_time"] > 0 else float("inf")
+    flag = ""
+    if ratio > 1.0 + tol:
+        flag = "  << REGRESSION"
+        regressed.append((name, ratio))
+    print(f"{name:<42} {b['cpu_time']:>12.0f} {c['cpu_time']:>12.0f} {ratio:>7.2f}{flag}")
+for name in base:
+    if name not in cand:
+        print(f"{name:<42}   (missing from this run)")
+
+if regressed:
+    print(f"\n{len(regressed)} benchmark(s) regressed more than "
+          f"{tol:.0%} vs {base_path}:", file=sys.stderr)
+    for name, ratio in regressed:
+        print(f"  {name}: {ratio:.2f}x baseline cpu_time", file=sys.stderr)
+    print("Re-run to rule out host noise; if real, fix it or re-snapshot with"
+          " scripts/bench.sh and justify the new baseline in the commit.",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"\nno cpu_time regressions beyond {tol:.0%}")
+EOF
+  exit 0
+fi
+
 # NB: this benchmark version wants a plain double for --benchmark_min_time
 # (no "s" suffix).
 ARGS=(--benchmark_min_time=0.05)
+SNAPSHOT=0
 if [[ "$QUICK" == 1 ]]; then
   ARGS=(--benchmark_min_time=0.01)
 elif [[ -z "$FILTER" && "$PROFILE" == 0 ]]; then
   ARGS+=(--benchmark_out=BENCH_core.json --benchmark_out_format=json)
+  SNAPSHOT=1
 fi
 [[ -n "$FILTER" ]] && ARGS+=(--benchmark_filter="$FILTER")
 
@@ -46,4 +126,7 @@ if [[ "$PROFILE" == 1 ]]; then
 else
   ./build-rel/bench/micro_core "${ARGS[@]}"
 fi
-[[ "$QUICK" == 0 && "$PROFILE" == 0 && -z "$FILTER" ]] && echo "wrote BENCH_core.json"
+if [[ "$SNAPSHOT" == 1 ]]; then
+  warn_debug_lib BENCH_core.json
+  echo "wrote BENCH_core.json"
+fi

@@ -4,9 +4,12 @@
 #
 #   scripts/check.sh            # tier-1 + chaos + both sanitizers
 #   scripts/check.sh --quick    # tier-1 only (what CI runs on every push)
-#   scripts/check.sh --release  # tier-1 in a Release tree + benchmark smoke
-#                               # run, so optimization-level-only bugs and
-#                               # bench bit-rot surface before perf work lands
+#   scripts/check.sh --release  # tier-1 in a Release tree + benchmark compare
+#                               # against BENCH_core.json, so optimization-
+#                               # level-only bugs and perf regressions surface
+#                               # before perf work lands. Raise
+#                               # GDVR_BENCH_TOLERANCE (default 0.25) on noisy
+#                               # shared hosts.
 #   scripts/check.sh --coverage # opt-in: tier-1 under gcov instrumentation,
 #                               # failing if src/ line coverage drops below
 #                               # the committed COVERAGE_baseline.txt
@@ -36,9 +39,10 @@ if [[ "$RELEASE" == 1 ]]; then
   echo "== tier-1 (Release build) =="
   configure_and_build build-rel -DCMAKE_BUILD_TYPE=Release
   ctest --test-dir build-rel -LE chaos --output-on-failure -j "$JOBS"
-  echo "== benchmark smoke run (Release) =="
-  # Plain double: this benchmark version rejects a "0.01s" suffix.
-  ./build-rel/bench/micro_core --benchmark_min_time=0.01
+  echo "== benchmark compare vs BENCH_core.json (Release) =="
+  # Full suite at the snapshot's min_time; fails on >GDVR_BENCH_TOLERANCE
+  # cpu_time regressions against the committed baseline.
+  scripts/bench.sh --compare
   echo "release checks passed"
   exit 0
 fi

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "graph/csr.hpp"
 
 namespace gdvr::analysis {
 
@@ -55,11 +56,13 @@ EmbeddingQuality embedding_quality(std::span<const Vec> positions, const Matrix&
 Matrix cost_matrix(const graph::Graph& g) {
   const int n = g.size();
   Matrix m(n, n);
-  graph::DijkstraWorkspace ws;
-  for (int src = 0; src < n; ++src) {
-    const auto& sp = graph::dijkstra(g, src, ws);
-    for (int dst = 0; dst < n; ++dst) m.at(src, dst) = sp.dist[static_cast<std::size_t>(dst)];
-  }
+  // All-pairs Dijkstra over a frozen CSR snapshot, fanned over GDVR_THREADS
+  // workers; the result is bit-identical at any thread count.
+  const std::vector<double> dist = graph::all_pairs_distances(graph::CsrGraph(g));
+  for (int src = 0; src < n; ++src)
+    for (int dst = 0; dst < n; ++dst)
+      m.at(src, dst) = dist[static_cast<std::size_t>(src) * static_cast<std::size_t>(n) +
+                            static_cast<std::size_t>(dst)];
   return m;
 }
 

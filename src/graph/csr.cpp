@@ -1,0 +1,67 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/parallel.hpp"
+#include "graph/dijkstra_impl.hpp"
+
+namespace gdvr::graph {
+
+CsrGraph::CsrGraph(const Graph& g) {
+  const int n = g.size();
+  offsets_.resize(static_cast<std::size_t>(n) + 1, 0);
+  for (int u = 0; u < n; ++u)
+    offsets_[static_cast<std::size_t>(u) + 1] =
+        offsets_[static_cast<std::size_t>(u)] + g.neighbors(u).size();
+  edges_.resize(offsets_[static_cast<std::size_t>(n)]);
+  for (int u = 0; u < n; ++u) {
+    const std::span<const Edge> nb = g.neighbors(u);
+    Edge* run = edges_.data() + offsets_[static_cast<std::size_t>(u)];
+    std::copy(nb.begin(), nb.end(), run);
+    // The generator emits ascending runs already; is_sorted is then a single
+    // linear pass and the sort never runs. Stable, so duplicate targets (a
+    // multigraph built via add_edge) keep their insertion order.
+    if (!std::is_sorted(run, run + nb.size(),
+                        [](const Edge& a, const Edge& b) { return a.to < b.to; }))
+      std::stable_sort(run, run + nb.size(),
+                       [](const Edge& a, const Edge& b) { return a.to < b.to; });
+  }
+}
+
+const ShortestPaths& dijkstra(const CsrGraph& g, int src, DijkstraWorkspace& ws) {
+  return detail::dijkstra_impl(g, src, ws);
+}
+
+ShortestPaths dijkstra(const CsrGraph& g, int src) {
+  DijkstraWorkspace ws;
+  dijkstra(g, src, ws);
+  return std::move(ws.sp);
+}
+
+std::vector<double> all_pairs_distances(const CsrGraph& g, int threads) {
+  const int n = g.size();
+  std::vector<double> out(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), kInf);
+  if (n == 0) return out;
+  // Fixed-size source chunks keep the fan-out deterministic (chunk c always
+  // covers the same sources) and amortize per-task overhead. Workers write
+  // disjoint row slices of the shared output, so there is no aggregation
+  // step and no ordering hazard.
+  constexpr int kSourcesPerChunk = 16;
+  const int chunks = (n + kSourcesPerChunk - 1) / kSourcesPerChunk;
+  ParallelTrials pool(threads);
+  pool.run(chunks, [&](int c) {
+    DijkstraWorkspace ws;
+    const int lo = c * kSourcesPerChunk;
+    const int hi = std::min(n, lo + kSourcesPerChunk);
+    for (int src = lo; src < hi; ++src) {
+      const ShortestPaths& sp = dijkstra(g, src, ws);
+      std::memcpy(out.data() + static_cast<std::size_t>(src) * static_cast<std::size_t>(n),
+                  sp.dist.data(), static_cast<std::size_t>(n) * sizeof(double));
+    }
+    return 0;
+  });
+  return out;
+}
+
+}  // namespace gdvr::graph

@@ -1,0 +1,81 @@
+// Frozen CSR (compressed sparse row) snapshot of a Graph.
+//
+// Graph stores one heap-allocated vector per node, which is the right shape
+// while a topology is being built or churned but a poor one for the read-only
+// phases that dominate runtime: routing hot loops, all-pairs Dijkstra sweeps,
+// and greedy forwarding all walk adjacency lists millions of times without
+// ever mutating them. CsrGraph freezes a Graph into two flat arrays (offsets
+// and edges) so those walks are contiguous, and keeps every node's run sorted
+// by target id so link_cost() is a binary search instead of a linear scan.
+//
+// The snapshot is positionally deterministic: node ids, per-node edge order
+// (ascending by target) and costs are a pure function of the source Graph,
+// and dijkstra() over a CsrGraph uses the same kernel as dijkstra() over the
+// Graph it came from, so distances, parents and tie-breaking match exactly
+// whenever the source adjacency was already sorted (the topology generator
+// always produces sorted adjacency).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gdvr::graph {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+  explicit CsrGraph(const Graph& g);
+
+  int size() const {
+    return offsets_.empty() ? 0 : static_cast<int>(offsets_.size()) - 1;
+  }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  std::span<const Edge> neighbors(int u) const {
+    GDVR_ASSERT(u >= 0 && u < size());
+    const std::size_t lo = offsets_[static_cast<std::size_t>(u)];
+    const std::size_t hi = offsets_[static_cast<std::size_t>(u) + 1];
+    return {edges_.data() + lo, hi - lo};
+  }
+
+  int degree(int u) const { return static_cast<int>(neighbors(u).size()); }
+
+  // Directed cost of link (u, v); kInf if absent. Runs are sorted by target,
+  // so this is a binary search -- O(log degree) against Graph's O(degree).
+  double link_cost(int u, int v) const {
+    const std::span<const Edge> nb = neighbors(u);
+    std::size_t lo = 0, hi = nb.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (nb[mid].to < v)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo < nb.size() && nb[lo].to == v ? nb[lo].cost : kInf;
+  }
+
+  bool has_edge(int u, int v) const { return link_cost(u, v) < kInf; }
+
+ private:
+  std::vector<std::size_t> offsets_;  // size() + 1 entries; empty when default
+  std::vector<Edge> edges_;           // per-node runs, ascending by target id
+};
+
+// Dijkstra over a frozen snapshot; same kernel (hence identical distances,
+// parents and tie-breaking) as the Graph overloads in graph.hpp.
+ShortestPaths dijkstra(const CsrGraph& g, int src);
+const ShortestPaths& dijkstra(const CsrGraph& g, int src, DijkstraWorkspace& ws);
+
+// Row-major n x n matrix of shortest-path costs: entry [src * n + dst] is the
+// cost of the cheapest src -> dst path, kInf when unreachable. One Dijkstra
+// per source, fanned over ParallelTrials workers (GDVR_THREADS) in fixed
+// chunks; every row is an independent computation written to its own slice,
+// so the result is bit-identical to a sequential sweep at any thread count.
+// This is the backbone of the embedding cost matrices and the ETX-stretch
+// baselines, whose all-pairs loops dominate large-N analysis runs.
+std::vector<double> all_pairs_distances(const CsrGraph& g, int threads = 0);
+
+}  // namespace gdvr::graph

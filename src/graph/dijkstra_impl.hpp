@@ -1,0 +1,49 @@
+// Shared Dijkstra kernel, templated on the adjacency container. Graph and
+// CsrGraph both instantiate this exact body (graph.cpp / csr.cpp), which is
+// what guarantees the two overloads agree bit-for-bit on distances, parents
+// and tie-breaking: same heap discipline, same relaxation order for the same
+// neighbor order. Internal header -- include only from src/graph/*.cpp.
+#pragma once
+
+#include <algorithm>
+
+#include "graph/graph.hpp"
+#include "obs/profile.hpp"
+
+namespace gdvr::graph::detail {
+
+template <typename AdjacencyT>
+const ShortestPaths& dijkstra_impl(const AdjacencyT& g, int src, DijkstraWorkspace& ws) {
+  GDVR_PROFILE_SCOPE("graph.dijkstra");
+  const int n = g.size();
+  ShortestPaths& sp = ws.sp;
+  sp.dist.assign(static_cast<std::size_t>(n), kInf);
+  sp.parent.assign(static_cast<std::size_t>(n), -1);
+  // Manual binary heap on the reused buffer: std::priority_queue owns its
+  // container, so its storage cannot survive across calls.
+  auto& heap = ws.heap;
+  heap.clear();
+  const auto cmp = [](const std::pair<double, int>& a, const std::pair<double, int>& b) {
+    return a.first > b.first;
+  };
+  sp.dist[static_cast<std::size_t>(src)] = 0.0;
+  heap.emplace_back(0.0, src);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    const auto [d, u] = heap.back();
+    heap.pop_back();
+    if (d > sp.dist[static_cast<std::size_t>(u)]) continue;
+    for (const Edge& e : g.neighbors(u)) {
+      const double nd = d + e.cost;
+      if (nd < sp.dist[static_cast<std::size_t>(e.to)]) {
+        sp.dist[static_cast<std::size_t>(e.to)] = nd;
+        sp.parent[static_cast<std::size_t>(e.to)] = u;
+        heap.emplace_back(nd, e.to);
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      }
+    }
+  }
+  return sp;
+}
+
+}  // namespace gdvr::graph::detail

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "graph/dijkstra_impl.hpp"
 #include "obs/profile.hpp"
 
 namespace gdvr::graph {
@@ -23,36 +24,7 @@ Graph Graph::induced_subgraph(std::span<const int> keep, std::vector<int>* old_i
 }
 
 const ShortestPaths& dijkstra(const Graph& g, int src, DijkstraWorkspace& ws) {
-  GDVR_PROFILE_SCOPE("graph.dijkstra");
-  const int n = g.size();
-  ShortestPaths& sp = ws.sp;
-  sp.dist.assign(static_cast<std::size_t>(n), kInf);
-  sp.parent.assign(static_cast<std::size_t>(n), -1);
-  // Manual binary heap on the reused buffer: std::priority_queue owns its
-  // container, so its storage cannot survive across calls.
-  auto& heap = ws.heap;
-  heap.clear();
-  const auto cmp = [](const std::pair<double, int>& a, const std::pair<double, int>& b) {
-    return a.first > b.first;
-  };
-  sp.dist[static_cast<std::size_t>(src)] = 0.0;
-  heap.emplace_back(0.0, src);
-  while (!heap.empty()) {
-    std::pop_heap(heap.begin(), heap.end(), cmp);
-    const auto [d, u] = heap.back();
-    heap.pop_back();
-    if (d > sp.dist[static_cast<std::size_t>(u)]) continue;
-    for (const Edge& e : g.neighbors(u)) {
-      const double nd = d + e.cost;
-      if (nd < sp.dist[static_cast<std::size_t>(e.to)]) {
-        sp.dist[static_cast<std::size_t>(e.to)] = nd;
-        sp.parent[static_cast<std::size_t>(e.to)] = u;
-        heap.emplace_back(nd, e.to);
-        std::push_heap(heap.begin(), heap.end(), cmp);
-      }
-    }
-  }
-  return sp;
+  return detail::dijkstra_impl(g, src, ws);
 }
 
 ShortestPaths dijkstra(const Graph& g, int src) {
@@ -95,24 +67,24 @@ std::vector<int> largest_component(const Graph& g) {
   int best_id = -1;
   std::size_t best_size = 0;
   int next = 0;
+  std::vector<int> q;  // flat BFS queue, reused across components
+  q.reserve(static_cast<std::size_t>(n));
   for (int s = 0; s < n; ++s) {
     if (comp[static_cast<std::size_t>(s)] >= 0) continue;
     const int id = next++;
-    std::size_t count = 0;
-    std::queue<int> q;
+    q.clear();
     comp[static_cast<std::size_t>(s)] = id;
-    q.push(s);
-    while (!q.empty()) {
-      const int u = q.front();
-      q.pop();
-      ++count;
+    q.push_back(s);
+    for (std::size_t head = 0; head < q.size(); ++head) {
+      const int u = q[head];
       for (const Edge& e : g.neighbors(u)) {
         if (comp[static_cast<std::size_t>(e.to)] < 0) {
           comp[static_cast<std::size_t>(e.to)] = id;
-          q.push(e.to);
+          q.push_back(e.to);
         }
       }
     }
+    const std::size_t count = q.size();
     if (count > best_size) {
       best_size = count;
       best_id = id;

@@ -40,6 +40,28 @@ class Graph {
     add_edge(v, u, cost_vu);
   }
 
+  // Bulk construction: replaces node u's adjacency with `edges` in one
+  // validated pass. The topology generator builds per-node edge runs with a
+  // counting sort and hands each run over here -- one allocation and a flat
+  // copy per node instead of ~degree checked push_backs.
+  void assign_neighbors(int u, std::span<const Edge> edges) {
+    GDVR_ASSERT(u >= 0 && u < size());
+    for (const Edge& e : edges) {
+      GDVR_ASSERT(e.to >= 0 && e.to < size() && e.to != u);
+      GDVR_ASSERT_MSG(e.cost > 0.0, "routing metrics must be positive");
+    }
+    adj_[static_cast<std::size_t>(u)].assign(edges.begin(), edges.end());
+  }
+
+  // Unvalidated variant for bulk builders whose edges are correct by
+  // construction (the topology generator's counting-sort assembly). The
+  // per-edge checks above are compiled into release builds, so skipping them
+  // matters when this runs 4 graphs x n nodes times per generation.
+  void assign_neighbors_unchecked(int u, std::span<const Edge> edges) {
+    GDVR_ASSERT(u >= 0 && u < size());
+    adj_[static_cast<std::size_t>(u)].assign(edges.begin(), edges.end());
+  }
+
   std::span<const Edge> neighbors(int u) const {
     return adj_[static_cast<std::size_t>(u)];
   }

@@ -63,4 +63,10 @@ inline double prr(const LinkModelParams& p, double distance_m, double shadow_db,
 // scan during topology generation.
 double max_link_distance(const LinkModelParams& p, double prr_threshold);
 
+// SNR (dB) at which prr_from_snr_db crosses `prr_threshold`. PRR is strictly
+// increasing in SNR, so a link is admitted iff its (shadowed, offset) SNR
+// exceeds this value -- the generator tests admission with one compare in
+// the SNR domain instead of evaluating the transcendental PRR chain per pair.
+double snr_threshold_db(const LinkModelParams& p, double prr_threshold);
+
 }  // namespace gdvr::radio

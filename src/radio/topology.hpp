@@ -36,6 +36,17 @@ enum class Metric {
   kEnergy,    // transmit energy: ETX * per-attempt energy (power-dependent)
 };
 
+// How the generator enumerates candidate node pairs for link realization.
+// Both modes share the same per-pair realization (counter-based randomness
+// hashed from (seed, i, j)), so they produce bit-identical topologies; the
+// grid only changes which pairs are *visited*, never what a visited pair
+// draws. kAllPairs is kept as the slow oracle for equivalence tests, the
+// same pattern as geom::Triangulation::LocateMode::kLinearScan.
+enum class LinkScanMode {
+  kGrid,      // uniform spatial grid at the radio's max-PRR-cutoff radius
+  kAllPairs,  // original O(n^2) scan over every (i, j) pair
+};
+
 struct TopologyConfig {
   int n = 200;
   double width_m = 100.0;
@@ -60,6 +71,7 @@ struct TopologyConfig {
   // (multi-rate radios), frame_bits from the radio config.
   double min_rate_mbps = 1.0;
   double max_rate_mbps = 11.0;
+  LinkScanMode link_scan = LinkScanMode::kGrid;
 };
 
 struct Topology {

@@ -79,7 +79,7 @@ TEST(GoldenTrace, GdvOnEtxTopology) {
   }
   EXPECT_EQ(sink.packets().size(), 30u);
   EXPECT_GT(count_mode(sink, obs::HopMode::kGreedy), 0);
-  expect_digest(sink, "3f8504a78482777d");
+  expect_digest(sink, "27ab28c89a1afa21");
 }
 
 TEST(GoldenTrace, MdtGreedyOnEtxTopology) {
@@ -93,7 +93,7 @@ TEST(GoldenTrace, MdtGreedyOnEtxTopology) {
     EXPECT_EQ(ok, 30);
   }
   EXPECT_EQ(sink.packets().size(), 30u);
-  expect_digest(sink, "f4cab5045f7efa8d");
+  expect_digest(sink, "768377fc83032669");
 }
 
 // Recovery-mode scenario: four 10 m obstacles punch holes into the radio
@@ -111,7 +111,7 @@ TEST(GoldenTrace, GpsrObstaclePerimeter) {
   }
   EXPECT_GT(count_mode(sink, obs::HopMode::kRecovery), 0)
       << "obstacle scenario no longer exercises perimeter recovery";
-  expect_digest(sink, "6814eb29090e7faa");
+  expect_digest(sink, "23632407f26ef575");
 }
 
 // GDV over the same obstacle field: the DV rule plus its MDT-greedy fallback
@@ -128,7 +128,7 @@ TEST(GoldenTrace, GdvObstacleFallback) {
   }
   EXPECT_GT(count_mode(sink, obs::HopMode::kRelay), 0)
       << "obstacle detours should traverse virtual-link relays";
-  expect_digest(sink, "bb72f1cbb65e9f08");
+  expect_digest(sink, "615136cd0d1fc680");
 }
 
 // Control-plane golden trace: every NetSim transmission of a Distance Vector
@@ -158,7 +158,7 @@ TEST(GoldenTrace, DistanceVectorControlSchedule) {
   for (const obs::HopEvent& e : sink.events())
     if (e.mode == obs::HopMode::kControl) last_time = e.time;
   EXPECT_GT(last_time, 0.0);
-  expect_digest(sink, "423943571fec1fbc");
+  expect_digest(sink, "be7bdac8b0886198");
 }
 
 // ---------- thread-count invariance ----------

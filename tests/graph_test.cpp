@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 
 namespace gdvr::graph {
@@ -153,6 +154,102 @@ TEST(Graph, ExtractPathSourceOnly) {
   const Graph g = line_graph(3);
   const auto sp = dijkstra(g, 1);
   EXPECT_EQ(extract_path(sp, 1), (std::vector<int>{1}));
+}
+
+// ---------- CSR snapshot equivalence ----------
+
+TEST(Csr, StructureMatchesGraph) {
+  const Graph g = random_graph(40, 0.2, 99);
+  const CsrGraph csr(g);
+  ASSERT_EQ(csr.size(), g.size());
+  EXPECT_EQ(csr.edge_count(), g.edge_count());
+  for (int u = 0; u < g.size(); ++u) {
+    const auto ga = g.neighbors(u);
+    const auto ca = csr.neighbors(u);
+    ASSERT_EQ(ca.size(), ga.size()) << u;
+    EXPECT_EQ(csr.degree(u), g.degree(u));
+    for (std::size_t k = 0; k < ga.size(); ++k) {
+      EXPECT_EQ(ca[k].to, ga[k].to) << u;
+      EXPECT_EQ(ca[k].cost, ga[k].cost) << u;
+    }
+  }
+}
+
+TEST(Csr, LinkCostMatchesIncludingAsymmetryAndAbsence) {
+  Graph g(4);
+  g.add_bidirectional(0, 1, 1.5, 2.5);  // asymmetric pair
+  g.add_bidirectional(1, 2, 3.0, 3.0);
+  const CsrGraph csr(g);
+  for (int u = 0; u < g.size(); ++u)
+    for (int v = 0; v < g.size(); ++v) {
+      EXPECT_EQ(csr.link_cost(u, v), g.link_cost(u, v)) << u << "->" << v;
+      EXPECT_EQ(csr.has_edge(u, v), g.has_edge(u, v)) << u << "->" << v;
+    }
+  EXPECT_EQ(csr.link_cost(0, 1), 1.5);
+  EXPECT_EQ(csr.link_cost(1, 0), 2.5);
+  EXPECT_EQ(csr.link_cost(0, 3), kInf);  // node 3 is isolated
+}
+
+TEST(Csr, DijkstraMatchesGraphOnRandomGraphs) {
+  // Distances AND parents: the CSR snapshot must preserve tie-breaking, not
+  // just path lengths, or routing traces would change under the swap.
+  for (const std::uint64_t seed : {3ull, 17ull, 171ull}) {
+    const Graph g = random_graph(50, 0.15, seed);
+    const CsrGraph csr(g);
+    DijkstraWorkspace ws;
+    for (int s = 0; s < g.size(); ++s) {
+      const ShortestPaths gs = dijkstra(g, s);
+      const ShortestPaths& cs = dijkstra(csr, s, ws);
+      ASSERT_EQ(cs.dist.size(), gs.dist.size());
+      for (std::size_t i = 0; i < gs.dist.size(); ++i) {
+        EXPECT_EQ(cs.dist[i], gs.dist[i]) << "seed " << seed << " src " << s << " dst " << i;
+        EXPECT_EQ(cs.parent[i], gs.parent[i]) << "seed " << seed << " src " << s << " dst " << i;
+      }
+    }
+  }
+}
+
+TEST(Csr, DijkstraHandlesIsolatedNodes) {
+  Graph g(5);
+  g.add_bidirectional(0, 1, 1.0, 1.0);
+  g.add_bidirectional(1, 2, 1.0, 1.0);
+  // nodes 3 and 4 isolated
+  const CsrGraph csr(g);
+  const ShortestPaths sp = dijkstra(csr, 0);
+  EXPECT_EQ(sp.dist[2], 2.0);
+  EXPECT_EQ(sp.dist[3], kInf);
+  EXPECT_EQ(sp.dist[4], kInf);
+  const ShortestPaths from_isolated = dijkstra(csr, 3);
+  EXPECT_EQ(from_isolated.dist[3], 0.0);
+  EXPECT_EQ(from_isolated.dist[0], kInf);
+}
+
+TEST(Csr, EmptyGraph) {
+  const CsrGraph csr;
+  EXPECT_EQ(csr.size(), 0);
+  EXPECT_EQ(csr.edge_count(), 0u);
+  const CsrGraph from_empty{Graph(0)};
+  EXPECT_EQ(from_empty.size(), 0);
+}
+
+TEST(Csr, AllPairsMatchesPerSourceDijkstraAtAnyThreadCount) {
+  const Graph g = random_graph(30, 0.2, 5);
+  const CsrGraph csr(g);
+  const int n = csr.size();
+  const std::vector<double> seq = all_pairs_distances(csr, 1);
+  const std::vector<double> par = all_pairs_distances(csr, 4);
+  ASSERT_EQ(seq.size(), static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  // Parallel sweep is bit-identical to sequential (disjoint row writes, fixed
+  // chunking), and both match a plain per-source Dijkstra.
+  EXPECT_EQ(seq, par);
+  for (int s = 0; s < n; ++s) {
+    const ShortestPaths sp = dijkstra(csr, s);
+    for (int t = 0; t < n; ++t)
+      EXPECT_EQ(seq[static_cast<std::size_t>(s) * static_cast<std::size_t>(n) +
+                    static_cast<std::size_t>(t)],
+                sp.dist[static_cast<std::size_t>(t)])
+          << s << "->" << t;
+  }
 }
 
 }  // namespace

@@ -275,6 +275,51 @@ TEST(ProtocolInternals, RecomputeMemoizationOnQuiescentNetwork) {
   EXPECT_GT(after.rebuilds, mid.rebuilds);
 }
 
+TEST(ProtocolInternals, RecomputeSteadyStateOnRandomTopology) {
+  // The static-network counterpart of BM_MdtMaintenanceRound's hit-rate
+  // counter. Under live VPoD the rate sits in the low tens of percent because
+  // every adjustment tick moves positions and bumps pos_version -- a correct
+  // invalidation, not a cache defect. With positions frozen (no VPoD, overlay
+  // driven directly), maintenance rounds must be nearly all cache hits. A
+  // random radio topology rather than a hand-crafted grid: realistic degrees
+  // (~14) and general-position coordinates, like the benchmark's network.
+  radio::TopologyConfig tc;
+  tc.n = 60;
+  tc.seed = 4242;
+  tc.target_avg_degree = 14.5;
+  const radio::Topology topo = radio::make_random_topology(tc);
+  const int n = topo.size();
+  ASSERT_GE(n, 30);
+
+  sim::Simulator sim;
+  Net net(sim, topo.etx, 0.001, 0.01, 1);
+  MdtConfig mc;
+  mc.dim = 2;
+  MdtOverlay overlay(net, mc);
+  overlay.attach();
+  for (int u = 0; u < n; ++u)
+    overlay.activate(u, topo.positions[static_cast<std::size_t>(u)], u == 0);
+  for (int u = 1; u < n; ++u) sim.schedule_at(0.1 * u, [&, u] { overlay.start_join(u); });
+  sim.run_until(10.0 + n);
+  for (int u = 0; u < n; ++u) ASSERT_TRUE(overlay.joined(u)) << u;
+
+  const auto rounds = [&](int count) {
+    for (int round = 0; round < count; ++round) {
+      for (int u = 0; u < n; ++u) overlay.run_maintenance_round(u);
+      sim.run_until(sim.now() + 5.0);
+    }
+  };
+  rounds(8);  // settle: pair syncs stop teaching new candidates
+
+  const MdtOverlay::RecomputeStats before = overlay.recompute_stats();
+  rounds(6);
+  const MdtOverlay::RecomputeStats after = overlay.recompute_stats();
+  const std::uint64_t calls = after.calls - before.calls;
+  const std::uint64_t rebuilds = after.rebuilds - before.rebuilds;
+  ASSERT_GT(calls, 0u);
+  EXPECT_LE(rebuilds * 10, calls) << rebuilds << " rebuilds in " << calls << " calls";
+}
+
 TEST(ProtocolInternals, SetPositionSameValueKeepsVersion) {
   // pos_version names the position *value*: re-announcing an identical
   // position must not bump the version (and so must not thrash the

@@ -3,6 +3,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <string>
 
 #include "common/rng.hpp"
 #include "graph/graph.hpp"
@@ -218,6 +220,98 @@ TEST(Topology, ScalingKeepsDensity) {
     const Topology t = make_random_topology(c);
     EXPECT_NEAR(t.etx.average_degree(), 14.5, 2.5) << "n=" << n;
   }
+}
+
+// ---------- spatial-grid scan vs all-pairs oracle ----------
+
+namespace {
+
+// Full structural equality of two metric graphs: same adjacency order, same
+// costs bit for bit. The grid scan must not merely be statistically similar
+// to the O(n^2) oracle -- it realizes the exact same links because per-pair
+// randomness is keyed on (seed, i, j), not on enumeration order.
+void expect_same_graph(const graph::Graph& a, const graph::Graph& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (int u = 0; u < a.size(); ++u) {
+    const auto na = a.neighbors(u);
+    const auto nb = b.neighbors(u);
+    ASSERT_EQ(na.size(), nb.size()) << what << " node " << u;
+    for (std::size_t k = 0; k < na.size(); ++k) {
+      EXPECT_EQ(na[k].to, nb[k].to) << what << " node " << u;
+      EXPECT_EQ(na[k].cost, nb[k].cost) << what << " node " << u << " -> " << na[k].to;
+    }
+  }
+}
+
+void expect_scan_modes_agree(TopologyConfig c) {
+  c.link_scan = LinkScanMode::kGrid;
+  const Topology grid = make_random_topology(c);
+  c.link_scan = LinkScanMode::kAllPairs;
+  const Topology oracle = make_random_topology(c);
+  ASSERT_EQ(grid.size(), oracle.size());
+  for (int i = 0; i < grid.size(); ++i)
+    EXPECT_EQ(grid.positions[static_cast<std::size_t>(i)],
+              oracle.positions[static_cast<std::size_t>(i)]);
+  expect_same_graph(grid.etx, oracle.etx, "etx");
+  expect_same_graph(grid.hops, oracle.hops, "hops");
+  expect_same_graph(grid.ett, oracle.ett, "ett");
+  expect_same_graph(grid.energy, oracle.energy, "energy");
+}
+
+}  // namespace
+
+TEST(Topology, GridScanMatchesAllPairsAcrossSeeds) {
+  TopologyConfig c;
+  c.n = 200;
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    c.seed = seed;
+    expect_scan_modes_agree(c);
+  }
+}
+
+TEST(Topology, GridScanMatchesAllPairsIn3d) {
+  TopologyConfig c;
+  c.n = 150;
+  c.seed = 7;
+  c.space_dim = 3;
+  expect_scan_modes_agree(c);
+}
+
+TEST(Topology, GridScanMatchesAllPairsWithObstacles) {
+  TopologyConfig c;
+  c.n = 200;
+  c.seed = 42;
+  c.num_obstacles = 4;
+  expect_scan_modes_agree(c);
+}
+
+TEST(Topology, GridScanThreadCountInvariant) {
+  // The parallel grid sweep must be bit-identical to a sequential one: chunk
+  // boundaries are fixed and per-pair randomness is enumeration-order-free.
+  TopologyConfig c;
+  c.n = 200;
+  c.seed = 17;
+  c.link_scan = LinkScanMode::kGrid;
+
+  const char* saved = std::getenv("GDVR_THREADS");
+  const std::string saved_copy = saved ? saved : "";
+  setenv("GDVR_THREADS", "1", 1);
+  const Topology seq = make_random_topology(c);
+  setenv("GDVR_THREADS", "4", 1);
+  const Topology par = make_random_topology(c);
+  if (saved)
+    setenv("GDVR_THREADS", saved_copy.c_str(), 1);
+  else
+    unsetenv("GDVR_THREADS");
+
+  ASSERT_EQ(seq.size(), par.size());
+  for (int i = 0; i < seq.size(); ++i)
+    EXPECT_EQ(seq.positions[static_cast<std::size_t>(i)],
+              par.positions[static_cast<std::size_t>(i)]);
+  expect_same_graph(seq.etx, par.etx, "etx");
+  expect_same_graph(seq.hops, par.hops, "hops");
+  expect_same_graph(seq.ett, par.ett, "ett");
+  expect_same_graph(seq.energy, par.energy, "energy");
 }
 
 }  // namespace
