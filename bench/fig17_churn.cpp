@@ -1,27 +1,44 @@
-// Figure 17: resilience to churn. A 200-node network runs for 10 adjustment
-// periods; then 150 of the 200 nodes fail and 150 fresh nodes join (initial
-// position: centroid of physical neighbors with error < 1). Routing
-// performance is tracked through recovery for VPoD in 2D, 3D and 4D.
+// Figure 17: resilience to churn. An N-node network runs for 10 adjustment
+// periods; then a configurable fraction of the alive nodes fail and an equal
+// number of fresh nodes join (initial position: centroid of physical
+// neighbors with error < 1). Routing performance is tracked through recovery
+// for VPoD in 2D, 3D and 4D.
 //
-// Universe construction: 350 node sites are generated in the same field with
-// density tuned so that any 200 alive nodes see the paper's average degree
-// of ~14.5; sites 200..349 stay silent until the churn event.
+// The paper's event is N=200 with churn fraction 0.75 (150 of 200 fail, 150
+// latent sites join) -- the defaults here. Override with:
+//   fig17_churn [--full] [--n=<alive nodes>] [--churn=<fraction>]
+//
+// Universe construction: N*(1+fraction) node sites are generated in the same
+// field with density tuned so that any N alive nodes see the paper's average
+// degree of ~14.5; the latent sites stay silent until the churn event, which
+// is expanded by the churn workload generator (sim/churn.hpp) into a
+// FaultSchedule and injected through the fault subsystem.
 #include "common.hpp"
+#include "sim/churn.hpp"
 
 using namespace gdvr;
 using namespace gdvr::bench;
 
 namespace {
 
-void run_metric(bool use_etx, int periods, int churn_period, int pairs, std::uint64_t seed) {
-  // 350-node universe; degree scales linearly with alive density, so target
-  // 14.5 * 350/200 for the full set.
+struct ChurnParams {
+  int n = 200;           // alive network size
+  double fraction = 0.75;  // of alive nodes leaving (and latent nodes joining)
+};
+
+void run_metric(bool use_etx, const ChurnParams& cp, int periods, int churn_period, int pairs,
+                std::uint64_t seed) {
+  const int churn_count = static_cast<int>(cp.fraction * static_cast<double>(cp.n) + 0.5);
+  const int universe = cp.n + churn_count;
+  // Degree scales linearly with alive density, so target 14.5 * universe/n
+  // for the full site set; field area scales with n like paper_topology.
   radio::TopologyConfig tc;
-  tc.n = 350;
+  tc.n = universe;
   tc.seed = seed;
-  tc.width_m = 100.0;
-  tc.height_m = 100.0;
-  tc.target_avg_degree = 14.5 * 350.0 / 200.0;
+  const double scale = std::sqrt(static_cast<double>(cp.n) / 200.0);
+  tc.width_m = 100.0 * scale;
+  tc.height_m = 100.0 * scale;
+  tc.target_avg_degree = 14.5 * static_cast<double>(universe) / static_cast<double>(cp.n);
   const radio::Topology topo = radio::make_random_topology(tc);
 
   std::vector<double> xs;
@@ -30,31 +47,28 @@ void run_metric(bool use_etx, int periods, int churn_period, int pairs, std::uin
 
   const std::vector<int> dims = full_mode() ? std::vector<int>{2, 3, 4} : std::vector<int>{2, 3};
   for (int dim : dims) {
-    // Latent sites (ids >= 200) start dead.
+    // Latent sites (ids >= n) start dead.
     std::vector<int> latent;
-    for (int u = 200; u < topo.size(); ++u) latent.push_back(u);
+    for (int u = cp.n; u < topo.size(); ++u) latent.push_back(u);
     eval::VpodRunner runner(topo, use_etx, paper_vpod(dim), {}, seed, latent);
 
     Series s{"GDV VPoD " + std::to_string(dim) + "D", {}};
-    Rng rng(seed * 3 + static_cast<std::uint64_t>(dim));
     bool churned = false;
     for (int k = 0; k <= periods; ++k) {
       runner.run_to_period(k);
       if (!churned && k >= churn_period) {
         churned = true;
-        // 150 of the 200 original nodes fail; 150 latent sites join.
-        std::vector<int> victims;
-        while (victims.size() < 150) {
-          const int u = 1 + rng.uniform_index(199);  // keep node 0 (token origin)
-          if (std::find(victims.begin(), victims.end(), u) == victims.end()) victims.push_back(u);
-        }
-        for (int v : victims) runner.protocol().fail_node(v);
-        int joined = 0;
-        for (int u : latent) {
-          if (joined >= 150) break;
-          runner.protocol().join_node(u);
-          ++joined;
-        }
+        // The flash-crowd event: churn_count of the original nodes fail and
+        // churn_count latent sites join, at one instant. Node 0 (the token
+        // origin) is protected by keeping it out of the leave pool.
+        std::vector<int> leave_pool;
+        for (int u = 1; u < cp.n; ++u) leave_pool.push_back(u);
+        const sim::Time at = runner.simulator().now() + 0.01;
+        const sim::FaultSchedule event = sim::flash_crowd(
+            at, churn_count, leave_pool, churn_count, latent,
+            seed * 3 + static_cast<std::uint64_t>(dim));
+        runner.faults().install(event);
+        runner.simulator().run_until(at + 0.01);  // apply before this period's eval
       }
       const auto view = runner.snapshot();
       eval::EvalOptions opts;
@@ -72,17 +86,31 @@ void run_metric(bool use_etx, int periods, int churn_period, int pairs, std::uin
               "period", xs, series);
 }
 
+ChurnParams parse_params(int argc, char** argv) {
+  ChurnParams cp;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--n=", 4) == 0) cp.n = std::atoi(argv[i] + 4);
+    if (std::strncmp(argv[i], "--churn=", 8) == 0) cp.fraction = std::atof(argv[i] + 8);
+  }
+  if (cp.n < 10) cp.n = 10;
+  if (cp.fraction < 0.0) cp.fraction = 0.0;
+  if (cp.fraction > 1.0) cp.fraction = 1.0;
+  return cp;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool full = full_mode(argc, argv);
+  const ChurnParams cp = parse_params(argc, argv);
   const int periods = full ? 20 : 16;
   const int churn_period = 10;
   const int pairs = full ? 0 : 300;
-  std::printf("Figure 17 | churn at period %d: 150/200 nodes fail, 150 join%s\n", churn_period,
-              full ? " [full]" : " [quick]");
-  run_metric(false, periods, churn_period, pairs, 1701);
-  run_metric(true, periods, churn_period, pairs, 1702);
+  const int churn_count = static_cast<int>(cp.fraction * static_cast<double>(cp.n) + 0.5);
+  std::printf("Figure 17 | churn at period %d: %d/%d nodes fail, %d join%s\n", churn_period,
+              churn_count, cp.n, churn_count, full ? " [full]" : " [quick]");
+  run_metric(false, cp, periods, churn_period, pairs, 1701);
+  run_metric(true, cp, periods, churn_period, pairs, 1702);
   std::printf("\nexpected shape: performance degrades right after churn, then recovers to\n"
               "pre-churn levels within ~2-3 adjustment periods (3D fastest).\n");
   return 0;

@@ -1,0 +1,106 @@
+// Chaos soak: sustained Poisson churn + partition/heal cycles under live
+// supervision. Unlike fig17_churn (one flash-crowd event, paper methodology)
+// this drives the robustness stack end to end: the continuous churn workload
+// generator (sim/churn.hpp) feeds the fault injector, the phi-accrual
+// failure detector evicts dead DT neighbors, incarnation/tombstone
+// reconciliation blocks resurrection, and the convergence watchdog
+// (eval/watchdog.hpp) audits every adjustment period, measures
+// time-to-recover and repairs stuck nodes.
+//
+//   soak_churn [--full] [--n=<nodes>] [--periods=<count>] [--rate=<frac>]
+//
+// --rate is the expected fraction of alive nodes leaving (and dead nodes
+// rejoining) per adjustment period; default 0.05. The run exits non-zero if
+// the watchdog records any audit failure, so it doubles as a long-horizon
+// smoke test. Set GDVR_METRICS_OUT to dump the full registry.
+#include "common.hpp"
+#include "eval/invariants.hpp"
+#include "eval/watchdog.hpp"
+#include "sim/churn.hpp"
+
+using namespace gdvr;
+using namespace gdvr::bench;
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  int n = full ? 150 : 80;
+  int periods = full ? 40 : 20;
+  double rate = 0.05;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--n=", 4) == 0) n = std::atoi(argv[i] + 4);
+    if (std::strncmp(argv[i], "--periods=", 10) == 0) periods = std::atoi(argv[i] + 10);
+    if (std::strncmp(argv[i], "--rate=", 7) == 0) rate = std::atof(argv[i] + 7);
+  }
+  const std::uint64_t seed = 4242;
+  const radio::Topology topo = paper_topology(n, seed);
+
+  vpod::VpodConfig vc = paper_vpod(3);
+  vc.mdt.fd.enabled = true;  // phi-accrual eviction + heartbeats + tombstones
+  eval::VpodRunner runner(topo, /*use_etx=*/false, vc, {}, seed);
+  runner.enable_reliable_sync();
+  const double period_len = vc.join_period_s + vc.adjust_period_s;
+
+  // Reach steady state (3 adjustment periods) before supervision begins, so
+  // the watchdog's baseline audits see the healthy protocol.
+  const int warmup = 3;
+  runner.run_to_period(warmup);
+
+  eval::WatchdogConfig wc;
+  wc.period_s = period_len;
+  wc.audit.pair_samples = full ? 400 : 200;
+  wc.audit.seed = seed;
+  eval::ConvergenceWatchdog dog(runner, wc);
+  const sim::Time t_end = runner.simulator().now() + periods * period_len;
+  dog.start(t_end);
+
+  // Churn starts one period into supervision (the first audits are baseline).
+  sim::ChurnConfig cc;
+  cc.t_begin = runner.simulator().now() + period_len;
+  cc.t_end = t_end - period_len;  // quiet tail: the last audits see recovery
+  cc.leave_rate_hz = rate * static_cast<double>(n) / period_len;
+  cc.join_rate_hz = cc.leave_rate_hz;
+  cc.flash_crowds = 1;
+  cc.partition_cycles = 1;
+  cc.partition_s = period_len * 0.5;
+  const sim::FaultSchedule churn = sim::continuous_churn(cc, seed + 7, n);
+  std::printf("soak: n=%d periods=%d churn %s\n", n, periods, churn.describe().c_str());
+  runner.faults().install(churn);
+  runner.simulator().run_until(t_end + 1.0);
+
+  std::printf("\n== soak results ==\n");
+  std::printf("audits                 %zu\n", dog.history().size());
+  std::printf("baseline success       %.4f\n", dog.baseline_success());
+  std::printf("degradation episodes   %zu\n", dog.recovery_times().size());
+  std::printf("worst recovery         %.1f s (%.2f periods)\n", dog.worst_recovery_s(),
+              dog.worst_recovery_s() / period_len);
+  std::printf("watchdog resyncs       %llu\n",
+              static_cast<unsigned long long>(dog.resyncs_triggered()));
+  std::printf("audit failures         %llu\n",
+              static_cast<unsigned long long>(dog.audit_failures()));
+  const auto& fd = runner.protocol().overlay().fd_stats();
+  std::printf("fd heartbeats sent     %llu\n", static_cast<unsigned long long>(fd.heartbeats_sent));
+  std::printf("fd evictions           %llu\n", static_cast<unsigned long long>(fd.evictions));
+  std::printf("fd tombstones          %llu\n",
+              static_cast<unsigned long long>(fd.tombstones_created));
+  std::printf("fd gossip suppressed   %llu\n",
+              static_cast<unsigned long long>(fd.gossip_suppressed));
+  std::printf("fd stale inc dropped   %llu\n",
+              static_cast<unsigned long long>(fd.stale_incarnation_dropped));
+
+  const char* path = std::getenv("GDVR_METRICS_OUT");
+  if (path != nullptr && path[0] != '\0') {
+    obs::Registry reg;
+    runner.export_metrics(reg);
+    dog.export_metrics(reg);
+    std::ofstream os(path);
+    if (os) reg.write_json(os);
+  }
+
+  if (dog.audit_failures() > 0) {
+    std::printf("\nFAIL: %llu audit failure(s)\n",
+                static_cast<unsigned long long>(dog.audit_failures()));
+    return 1;
+  }
+  std::printf("\nOK: delivery recovered after every churn event\n");
+  return 0;
+}

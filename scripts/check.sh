@@ -14,8 +14,9 @@
 #                               # failing if src/ line coverage drops below
 #                               # the committed COVERAGE_baseline.txt
 #
-# Build directories: build/ (plain), build-asan/, build-ubsan/, build-rel/
-# (--release), build-cov/ (--coverage). Created on demand, reused across runs.
+# Build directories: build/ (plain), build-asan/, build-ubsan/, build-tsan/,
+# build-rel/ (--release), build-cov/ (--coverage). Created on demand, reused
+# across runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -60,6 +61,9 @@ fi
 echo "== chaos suite (plain build) =="
 ctest --test-dir build -L chaos --output-on-failure
 
+echo "== churn soak (plain build) =="
+ctest --test-dir build -L soak --output-on-failure
+
 for san in address undefined; do
   dir="build-${san:0:1}san"
   [[ "$san" == address ]] && dir=build-asan || dir=build-ubsan
@@ -67,5 +71,12 @@ for san in address undefined; do
   configure_and_build "$dir" -DGDVR_SANITIZE="$san"
   ctest --test-dir "$dir" -LE chaos --output-on-failure -j "$JOBS"
 done
+
+# The concurrency the fast suite exercises lives in the eval layer's
+# parallel audits; drive the long-running labels (which audit continuously
+# under churn) through TSan to catch data races the single-label runs miss.
+echo "== chaos + soak under thread sanitizer (build-tsan) =="
+configure_and_build build-tsan -DGDVR_SANITIZE=thread
+ctest --test-dir build-tsan -L 'chaos|soak' --output-on-failure
 
 echo "all checks passed"

@@ -98,6 +98,13 @@ void VpodRunner::export_metrics(obs::Registry& reg) const {
   reg.counter("mdt.recompute_rebuilds").set(overlay.recompute_stats().rebuilds);
   reg.counter("vpod.adjustments").set(vpod_->adjustments());
 
+  const mdt::MdtOverlay::FdStats& fd = overlay.fd_stats();
+  reg.counter("mdt.fd.heartbeats_sent").set(fd.heartbeats_sent);
+  reg.counter("mdt.fd.evictions").set(fd.evictions);
+  reg.counter("mdt.fd.tombstones_created").set(fd.tombstones_created);
+  reg.counter("mdt.fd.gossip_suppressed").set(fd.gossip_suppressed);
+  reg.counter("mdt.fd.stale_incarnation_dropped").set(fd.stale_incarnation_dropped);
+
   reg.counter("net.messages_sent").set(net_->total_messages_sent());
   reg.counter("net.messages_lost").set(net_->messages_lost());
   reg.counter("net.messages_expired").set(net_->messages_expired());

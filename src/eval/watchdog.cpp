@@ -1,0 +1,105 @@
+#include "eval/watchdog.hpp"
+
+#include <algorithm>
+
+#include "eval/protocol_runner.hpp"
+
+namespace gdvr::eval {
+
+ConvergenceWatchdog::ConvergenceWatchdog(VpodRunner& runner, const WatchdogConfig& config)
+    : runner_(runner),
+      config_(config),
+      stuck_counts_(static_cast<std::size_t>(runner.net().size()), 0),
+      failed_nodes_(static_cast<std::size_t>(runner.net().size()), false) {}
+
+void ConvergenceWatchdog::start(sim::Time until) {
+  sim::Simulator& sim = runner_.simulator();
+  tick();  // baseline sampling starts immediately
+  for (sim::Time at = sim.now() + config_.period_s; at <= until; at += config_.period_s)
+    sim.schedule_at(at, [this] { tick(); });
+  sim.schedule_at(until + 1e-9, [this] { finish(); });
+}
+
+const InvariantReport& ConvergenceWatchdog::tick() {
+  InvariantOptions opts = config_.audit;
+  // Fresh pair sample per audit, deterministic for a fixed base seed.
+  opts.seed = config_.audit.seed + static_cast<std::uint64_t>(history_.size());
+  history_.push_back(audit_invariants(runner_, opts));
+  const InvariantReport& r = history_.back();
+
+  // --- steady-state baseline ----------------------------------------------
+  if (baseline_success_ < 0.0 &&
+      static_cast<int>(history_.size()) >= std::max(config_.baseline_audits, 1)) {
+    double sum = 0.0;
+    for (int i = 0; i < std::max(config_.baseline_audits, 1); ++i)
+      sum += history_[static_cast<std::size_t>(i)].routing_success;
+    baseline_success_ = sum / static_cast<double>(std::max(config_.baseline_audits, 1));
+  }
+
+  // --- time-to-recover episodes -------------------------------------------
+  if (baseline_success_ >= 0.0) {
+    const bool below = r.routing_success < baseline_success_ - config_.tolerance;
+    if (below && !degraded_) {
+      degraded_ = true;
+      episode_start_ = r.at;
+    } else if (!below && degraded_) {
+      degraded_ = false;
+      recovery_times_.push_back(r.at - episode_start_);
+    }
+  }
+
+  // --- stuck-node repair ----------------------------------------------------
+  const mdt::Net& net = runner_.net();
+  mdt::MdtOverlay& overlay = runner_.protocol().overlay();
+  const int grace = std::max(config_.stuck_grace, 1);
+  for (int u = 0; u < net.size(); ++u) {
+    const auto ui = static_cast<std::size_t>(u);
+    const bool stuck = net.alive(u) && overlay.active(u) &&
+                       (!overlay.joined(u) || overlay.dt_neighbors(u).empty());
+    if (!stuck) {
+      stuck_counts_[ui] = 0;
+      failed_nodes_[ui] = false;
+      continue;
+    }
+    ++stuck_counts_[ui];
+    // Every `grace` consecutive stuck audits, fire a targeted re-sync; a
+    // node that rode through an entire resync cycle without recovering is an
+    // audit failure (counted once per continuous stuck stretch).
+    if (stuck_counts_[ui] % grace == 0) {
+      overlay.force_resync(u);
+      ++resyncs_;
+    }
+    if (stuck_counts_[ui] >= 2 * grace && !failed_nodes_[ui]) {
+      failed_nodes_[ui] = true;
+      ++audit_failures_;
+    }
+  }
+  return r;
+}
+
+void ConvergenceWatchdog::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (degraded_) {
+    // Supervision ended inside an open episode: delivery never recovered.
+    ++audit_failures_;
+    degraded_ = false;
+  }
+}
+
+double ConvergenceWatchdog::worst_recovery_s() const {
+  double worst = 0.0;
+  for (double t : recovery_times_) worst = std::max(worst, t);
+  return worst;
+}
+
+void ConvergenceWatchdog::export_metrics(obs::Registry& reg) const {
+  reg.gauge("watchdog.baseline_success").set(std::max(baseline_success_, 0.0));
+  reg.counter("watchdog.audits").set(history_.size());
+  reg.counter("watchdog.episodes").set(recovery_times_.size());
+  reg.gauge("watchdog.worst_recovery_s").set(worst_recovery_s());
+  reg.counter("watchdog.resyncs").set(resyncs_);
+  reg.counter("watchdog.audit_failures").set(audit_failures_);
+}
+
+}  // namespace gdvr::eval

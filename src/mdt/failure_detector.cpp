@@ -1,0 +1,62 @@
+#include "mdt/failure_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gdvr::mdt {
+
+PhiAccrualDetector::PhiAccrualDetector(const FailureDetectorConfig& config, sim::Time first_heard)
+    : config_(config), last_(first_heard) {
+  window_.resize(std::max<std::size_t>(config.window, 1), 0.0);
+}
+
+void PhiAccrualDetector::heartbeat(sim::Time now) {
+  const double interval = now - last_;
+  last_ = now;
+  if (interval <= 0.0) return;  // duplicate delivery within the same instant
+  if (count_ >= window_.size()) {
+    const double evicted = window_[next_];
+    sum_ -= evicted;
+    sum_sq_ -= evicted * evicted;
+  } else {
+    ++count_;
+  }
+  window_[next_] = interval;
+  sum_ += interval;
+  sum_sq_ += interval * interval;
+  next_ = (next_ + 1) % window_.size();
+}
+
+double PhiAccrualDetector::mean_interval() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double PhiAccrualDetector::stddev_interval() const {
+  if (count_ == 0) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double mean = sum_ / n;
+  return std::sqrt(std::max(sum_sq_ / n - mean * mean, 0.0));
+}
+
+double PhiAccrualDetector::phi(sim::Time now) const {
+  if (count_ < static_cast<std::size_t>(std::max(config_.min_samples, 1))) return 0.0;
+  const double elapsed = now - last_;
+  if (elapsed <= 0.0) return 0.0;
+  const double mean = mean_interval();
+  const double sd = std::max(stddev_interval(), config_.min_stddev_s);
+  // P(interval > elapsed) under N(mean, sd): the normal survival function.
+  // erfc underflows to 0 around x ~ 27 (phi ~ 320), far beyond any sane
+  // threshold; clamp so phi stays finite.
+  const double x = (elapsed - mean) / (sd * std::sqrt(2.0));
+  const double p = 0.5 * std::erfc(x);
+  if (p <= 1e-300) return 300.0;
+  return -std::log10(p);
+}
+
+bool PhiAccrualDetector::suspect(sim::Time now) const {
+  if (count_ < static_cast<std::size_t>(std::max(config_.min_samples, 1)))
+    return now - last_ > config_.bootstrap_stale_s;
+  return phi(now) > config_.phi_threshold;
+}
+
+}  // namespace gdvr::mdt

@@ -1,0 +1,92 @@
+// Adaptive (phi-accrual) failure detection for multi-hop DT neighbors.
+//
+// The fixed `neighbor_stale_s` soft-state timeout treats every neighbor the
+// same: a crashed neighbor lingers for 45 s while an unlucky-but-alive one
+// can be reaped by one slow maintenance round. Phi-accrual detection
+// (Hayashibara et al., SRDS 2004) instead learns each neighbor's heartbeat
+// inter-arrival distribution and turns "how long since the last heartbeat"
+// into a continuous suspicion level:
+//
+//   phi(t) = -log10 P(next inter-arrival > t - t_last)
+//
+// under a normal model fitted to a sliding window of observed inter-arrival
+// times. Crossing a phi threshold declares the neighbor dead. Because the
+// model adapts to what the link actually delivers, a 4x delay spike (which
+// shifts arrivals by fractions of a second against a multi-second cadence)
+// barely moves phi, while a genuine crash drives it past any threshold
+// within a few missed heartbeats -- far faster than the fixed timeout, with
+// fewer false positives.
+//
+// The detector is clock-agnostic: callers feed it arrival timestamps from
+// the simulation clock and query phi at the current time. Until
+// `min_samples` heartbeats have arrived the detector reports suspicion only
+// after `bootstrap_stale_s` of silence (the legacy fixed-timeout behavior),
+// so freshly established links are never evicted on thin statistics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace gdvr::mdt {
+
+struct FailureDetectorConfig {
+  // Master switch: when false the overlay keeps the fixed neighbor_stale_s
+  // soft-state timeout and sends no heartbeats (legacy behavior; golden
+  // traces and existing chaos scenarios are unchanged).
+  bool enabled = false;
+  double heartbeat_period_s = 3.0;   // per-node heartbeat cadence
+  double heartbeat_jitter_s = 0.3;   // deterministic desync between nodes
+  double phi_threshold = 9.0;        // suspicion level that declares death
+  // Variance floor. Heartbeats are plain (unreliable) sends, so the floor is
+  // sized to forgive a single lost heartbeat (one period of extra silence
+  // stays under the phi threshold) while two consecutive losses -- or a
+  // crash -- still cross it within ~1.5 further periods.
+  double min_stddev_s = 0.8;
+  int min_samples = 4;               // heartbeats required before phi applies
+  double bootstrap_stale_s = 45.0;   // silence bound while bootstrapping
+  std::size_t window = 32;           // inter-arrival samples retained
+  // Tombstone retention for evicted neighbors: while a tombstone stands,
+  // second-hand gossip about incarnations <= the evicted one is suppressed
+  // (only direct contact, which proves liveness, clears it). Bounded GC: the
+  // tombstone is dropped after this long regardless.
+  double tombstone_ttl_s = 120.0;
+};
+
+class PhiAccrualDetector {
+ public:
+  PhiAccrualDetector() = default;
+  PhiAccrualDetector(const FailureDetectorConfig& config, sim::Time first_heard);
+
+  // Records a heartbeat arrival; the inter-arrival since the previous one
+  // becomes a sample of the neighbor's cadence distribution.
+  void heartbeat(sim::Time now);
+
+  // Suspicion level at `now`: 0 right after a heartbeat, growing without
+  // bound through silence. Scale: phi = 1 means "1 in 10 inter-arrivals are
+  // this long", phi = 9 means "1 in 10^9".
+  double phi(sim::Time now) const;
+
+  // True when phi exceeds the configured threshold -- or, before the model
+  // has min_samples, when silence exceeds bootstrap_stale_s.
+  bool suspect(sim::Time now) const;
+
+  sim::Time last_heard() const { return last_; }
+  int samples() const { return static_cast<int>(count_); }
+  double mean_interval() const;
+  double stddev_interval() const;
+
+ private:
+  FailureDetectorConfig config_;
+  sim::Time last_ = 0.0;
+  // Sliding window of inter-arrival samples (ring buffer) with running sums
+  // maintained incrementally: O(1) per heartbeat, O(1) per phi query.
+  std::vector<double> window_;
+  std::size_t next_ = 0;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace gdvr::mdt

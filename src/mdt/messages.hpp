@@ -31,6 +31,12 @@ struct NodeInfo {
   // version decides which copy is freshest, so a lossy direct channel can be
   // repaired by gossip without stale gossip ever clobbering fresher state.
   std::uint64_t pos_version = 0;
+  // The sender's incarnation (bumped by the link layer on every crash/rejoin
+  // cycle). Receivers order state lexicographically by (incarnation,
+  // pos_version) and drop messages from a past life outright, so in-flight
+  // messages sent before a crash can never resurrect the dead incarnation's
+  // links or coordinates after the node rejoins.
+  std::uint32_t incarnation = 0;
 };
 
 enum class Kind {
@@ -66,6 +72,13 @@ enum class Kind {
   // sim/reliable.hpp). Uses: origin (acking node), target (hop sender),
   // rel_seq (the acknowledged sequence).
   kAck,
+  // Liveness probe for the adaptive failure detector (mdt/failure_detector).
+  // Sent on a fixed per-node cadence to multi-hop DT neighbors so their
+  // phi-accrual detectors see a clean inter-arrival signal (position updates
+  // and sync traffic are too bursty to model). Direct to physical neighbors;
+  // source-routed over the virtual link otherwise. Uses: origin, target,
+  // origin_info, route/route_idx.
+  kHeartbeat,
 };
 
 struct Envelope {

@@ -49,6 +49,7 @@ void MdtOverlay::activate(NodeId u, const Vec& pos, bool first) {
   s.err = 1.0;
   s.pos_version += 1;
   send_hello(u);
+  if (config_.fd.enabled) schedule_fd_tick(u);
 }
 
 void MdtOverlay::start_join(NodeId u) {
@@ -152,15 +153,28 @@ void MdtOverlay::run_maintenance_round(NodeId u) {
   }
   // Soft-state staleness: a non-physical candidate that has sent us nothing
   // (position update, request, reply) for neighbor_stale_s is presumed dead.
+  // With the adaptive failure detector on, entries with a fitted detector are
+  // governed by phi instead (fd_tick evicts them within a few heartbeat
+  // periods of death); the fixed timeout remains the bootstrap fallback for
+  // entries that never delivered a heartbeat.
   for (auto it = s.cand.begin(); it != s.cand.end();) {
-    const bool stale = !s.phys.count(it->first) &&
+    const bool fd_governed = config_.fd.enabled && s.fd.count(it->first) > 0;
+    const bool stale = !fd_governed && !s.phys.count(it->first) &&
                        now - it->second.last_heard > config_.neighbor_stale_s;
     if (stale) {
       s.pending.erase(it->first);
+      s.fd.erase(it->first);
       it = s.cand.erase(it);
     } else {
       ++it;
     }
+  }
+  // Bounded tombstone GC.
+  for (auto it = s.tombstones.begin(); it != s.tombstones.end();) {
+    if (now - it->second.created > config_.fd.tombstone_ttl_s)
+      it = s.tombstones.erase(it);
+    else
+      ++it;
   }
   // Per paper, every DT-neighbor pair exchanges a Neighbor-Set Request and
   // Reply each round; the smaller id initiates to keep it to two messages.
@@ -193,6 +207,119 @@ void MdtOverlay::run_maintenance_round(NodeId u) {
       schedule_recompute(u);
     });
   }
+}
+
+void MdtOverlay::force_resync(NodeId u) {
+  NodeState& s = st(u);
+  if (!s.active || !net_.alive(u)) return;
+  if (!s.joined) {
+    start_join(u);
+    return;
+  }
+  for (NodeId y : s.dt_nbrs) {
+    auto it = s.cand.find(y);
+    if (it != s.cand.end()) it->second.synced = false;
+  }
+  schedule_recompute(u);
+}
+
+// --------------------------------------------------------------------------
+// Incarnation reconciliation + adaptive failure detection
+
+bool MdtOverlay::stale_origin(NodeId u, const NodeInfo& info) {
+  const NodeState& s = st(u);
+  std::uint32_t recorded = 0;
+  auto it = s.cand.find(info.id);
+  if (it != s.cand.end()) recorded = it->second.incarnation;
+  auto pit = s.phys.find(info.id);
+  if (pit != s.phys.end()) recorded = std::max(recorded, pit->second.incarnation);
+  if (info.incarnation < recorded) {
+    ++fd_stats_.stale_incarnation_dropped;
+    return true;
+  }
+  return false;
+}
+
+void MdtOverlay::note_direct_contact(NodeId u, const NodeInfo& info) {
+  NodeState& s = st(u);
+  auto tomb = s.tombstones.find(info.id);
+  // A message straight from the node is proof of life: a tombstone for its
+  // current (or an older) incarnation is refuted and cleared, so a falsely
+  // evicted neighbor heals within one heartbeat period.
+  if (tomb != s.tombstones.end() && info.incarnation >= tomb->second.incarnation)
+    s.tombstones.erase(tomb);
+}
+
+double MdtOverlay::suspicion(NodeId u, NodeId v) const {
+  const NodeState& s = st(u);
+  auto it = s.fd.find(v);
+  if (it == s.fd.end()) return 0.0;
+  return it->second.phi(net_.simulator().now());
+}
+
+void MdtOverlay::schedule_fd_tick(NodeId u) {
+  // Deterministic per-(node, incarnation) phase so heartbeat ticks across the
+  // network desynchronize without drawing from the shared protocol RNG.
+  const std::uint32_t inc = net_.incarnation(u);
+  const std::uint64_t h = mix64((static_cast<std::uint64_t>(inc) << 32) ^
+                                static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)));
+  const double frac = static_cast<double>(h >> 11) * 0x1.0p-53;
+  const double delay = config_.fd.heartbeat_period_s + config_.fd.heartbeat_jitter_s * frac;
+  net_.simulator().schedule_in(delay, [this, u, inc] {
+    // The tick chain belongs to one life of u: it dies with the incarnation
+    // (reactivation schedules a fresh chain).
+    if (!net_.alive(u) || net_.incarnation(u) != inc) return;
+    fd_tick(u);
+    schedule_fd_tick(u);
+  });
+}
+
+void MdtOverlay::fd_tick(NodeId u) {
+  NodeState& s = st(u);
+  if (!s.active) return;
+  send_heartbeats(u);
+  const sim::Time now = net_.simulator().now();
+  // Evict every multi-hop neighbor whose detector has crossed the threshold.
+  std::vector<NodeId> dead;
+  for (const auto& [y, det] : s.fd)
+    if (!s.phys.count(y) && det.suspect(now)) dead.push_back(y);
+  for (NodeId y : dead) evict_neighbor(u, y);
+}
+
+void MdtOverlay::send_heartbeats(NodeId u) {
+  NodeState& s = st(u);
+  if (!net_.alive(u)) return;
+  // Only multi-hop DT neighbors need explicit probes: physical neighbors are
+  // covered by link-layer liveness (refresh_phys), and everything else is
+  // transient soft state with its own freshness rules.
+  for (NodeId y : s.dt_nbrs) {
+    if (s.phys.count(y)) continue;
+    auto it = s.cand.find(y);
+    if (it == s.cand.end() || it->second.path.size() < 2) continue;
+    Envelope m;
+    m.kind = Kind::kHeartbeat;
+    m.origin = u;
+    m.target = y;
+    m.origin_info = info_of(u);
+    m.route = it->second.path;
+    m.route_idx = 0;
+    const NodeId next = m.route[1];  // read before the envelope is moved from
+    if (net_.send(u, next, std::move(m))) ++fd_stats_.heartbeats_sent;
+  }
+}
+
+void MdtOverlay::evict_neighbor(NodeId u, NodeId y) {
+  NodeState& s = st(u);
+  auto it = s.cand.find(y);
+  if (it != s.cand.end()) {
+    s.tombstones[y] = {it->second.incarnation, net_.simulator().now()};
+    ++fd_stats_.tombstones_created;
+    s.cand.erase(it);
+  }
+  s.pending.erase(y);
+  s.fd.erase(y);
+  ++fd_stats_.evictions;
+  schedule_recompute(u);
 }
 
 // --------------------------------------------------------------------------
@@ -236,7 +363,8 @@ void MdtOverlay::handle(NodeId to, NodeId from, Envelope msg) {
   // Source-routed relay (replies, position updates, virtual-link detours).
   const bool follows_route =
       msg.kind == Kind::kJoinReply || msg.kind == Kind::kNbrSetReply ||
-      (msg.kind == Kind::kPosUpdate && !msg.route.empty()) || msg.detour;
+      ((msg.kind == Kind::kPosUpdate || msg.kind == Kind::kHeartbeat) && !msg.route.empty()) ||
+      msg.detour;
   if (follows_route) {
     const auto idx = static_cast<std::size_t>(msg.route_idx);
     if (idx + 1 < msg.route.size() && msg.route[idx + 1] == to) ++msg.route_idx;
@@ -274,6 +402,9 @@ void MdtOverlay::handle(NodeId to, NodeId from, Envelope msg) {
     case Kind::kPosUpdate:
       on_pos_update(to, std::move(msg));
       break;
+    case Kind::kHeartbeat:
+      on_heartbeat(to, msg);
+      break;
     default:
       break;
   }
@@ -281,11 +412,14 @@ void MdtOverlay::handle(NodeId to, NodeId from, Envelope msg) {
 
 void MdtOverlay::on_hello(NodeId u, const Envelope& msg) {
   NodeState& s = st(u);
+  if (stale_origin(u, msg.origin_info)) return;
+  note_direct_contact(u, msg.origin_info);
   const bool known = s.phys.count(msg.origin_info.id) > 0;
   // Learn/update a physical neighbor's advertised position and error. Stored
   // even before this node activates: the VPoD initialization rules need the
   // positions of already-initialized physical neighbors.
-  if (!known || msg.origin_info.pos_version >= s.phys[msg.origin_info.id].pos_version)
+  if (!known || at_least_as_fresh(msg.origin_info, s.phys[msg.origin_info.id].incarnation,
+                                  s.phys[msg.origin_info.id].pos_version))
     s.phys[msg.origin_info.id] = msg.origin_info;
   // Neighbor-discovery handshake: a joined node answers a Hello from an
   // unknown or not-yet-joined neighbor (a fresh joiner, or a rebooted node
@@ -302,11 +436,12 @@ void MdtOverlay::on_hello(NodeId u, const Envelope& msg) {
   }
   auto it = s.cand.find(msg.origin_info.id);
   if (it != s.cand.end()) {
-    if (msg.origin_info.pos_version >= it->second.pos_version) {
+    if (at_least_as_fresh(msg.origin_info, it->second.incarnation, it->second.pos_version)) {
       it->second.pos = msg.origin_info.pos;
       it->second.err = msg.origin_info.err;
       it->second.pos_version = msg.origin_info.pos_version;
     }
+    it->second.incarnation = std::max(it->second.incarnation, msg.origin_info.incarnation);
     it->second.last_heard = net_.simulator().now();
   }
   // A neighbor announcing it joined unblocks our own join immediately (the
@@ -327,13 +462,16 @@ void MdtOverlay::on_join_request(NodeId u, Envelope msg) {
 void MdtOverlay::on_join_reply(NodeId u, Envelope msg) {
   NodeState& s = st(u);
   if (msg.target != u || !s.active) return;
+  if (stale_origin(u, msg.origin_info)) return;
+  note_direct_contact(u, msg.origin_info);
   // The replier becomes a synced candidate with known cost and path.
   Candidate& c = s.cand[msg.origin];
-  if (msg.origin_info.pos_version >= c.pos_version) {
+  if (at_least_as_fresh(msg.origin_info, c.incarnation, c.pos_version)) {
     c.pos = msg.origin_info.pos;
     c.err = msg.origin_info.err;
     c.pos_version = msg.origin_info.pos_version;
   }
+  c.incarnation = std::max(c.incarnation, msg.origin_info.incarnation);
   c.cost = msg.accum_cost;
   c.path.assign(msg.route.rbegin(), msg.route.rend());
   c.via = msg.origin;
@@ -355,17 +493,20 @@ void MdtOverlay::on_nbr_set_request(NodeId u, Envelope msg) {
 void MdtOverlay::on_nbr_set_reply(NodeId u, Envelope msg) {
   NodeState& s = st(u);
   if (msg.target != u) return;
+  if (stale_origin(u, msg.origin_info)) return;
+  note_direct_contact(u, msg.origin_info);
   auto pending_it = s.pending.find(msg.origin);
   if (pending_it != s.pending.end()) {
     net_.simulator().cancel(pending_it->second.timer);
     s.pending.erase(pending_it);
   }
   Candidate& c = s.cand[msg.origin];
-  if (msg.origin_info.pos_version >= c.pos_version) {
+  if (at_least_as_fresh(msg.origin_info, c.incarnation, c.pos_version)) {
     c.pos = msg.origin_info.pos;
     c.err = msg.origin_info.err;
     c.pos_version = msg.origin_info.pos_version;
   }
+  c.incarnation = std::max(c.incarnation, msg.origin_info.incarnation);
   c.cost = msg.accum_cost;
   c.path.assign(msg.route.rbegin(), msg.route.rend());
   c.via = msg.origin;
@@ -377,22 +518,43 @@ void MdtOverlay::on_nbr_set_reply(NodeId u, Envelope msg) {
 
 void MdtOverlay::on_pos_update(NodeId u, Envelope msg) {
   NodeState& s = st(u);
+  if (stale_origin(u, msg.origin_info)) return;
+  note_direct_contact(u, msg.origin_info);
   const sim::Time now = net_.simulator().now();
   if (msg.route.empty() && net_.links().has_edge(u, msg.origin)) {
     // Direct physical-neighbor update (acts as a keep-alive as well).
     auto pit = s.phys.find(msg.origin);
-    if (pit == s.phys.end() || msg.origin_info.pos_version >= pit->second.pos_version)
+    if (pit == s.phys.end() ||
+        at_least_as_fresh(msg.origin_info, pit->second.incarnation, pit->second.pos_version))
       s.phys[msg.origin] = msg.origin_info;
   }
   auto it = s.cand.find(msg.origin);
   if (it != s.cand.end()) {
-    if (msg.origin_info.pos_version >= it->second.pos_version) {
+    if (at_least_as_fresh(msg.origin_info, it->second.incarnation, it->second.pos_version)) {
       it->second.pos = msg.origin_info.pos;
       it->second.err = msg.origin_info.err;
       it->second.pos_version = msg.origin_info.pos_version;
     }
+    it->second.incarnation = std::max(it->second.incarnation, msg.origin_info.incarnation);
     it->second.last_heard = now;  // direct evidence of liveness either way
   }
+}
+
+void MdtOverlay::on_heartbeat(NodeId u, const Envelope& msg) {
+  NodeState& s = st(u);
+  if (stale_origin(u, msg.origin_info)) return;
+  note_direct_contact(u, msg.origin_info);
+  const sim::Time now = net_.simulator().now();
+  auto it = s.cand.find(msg.origin);
+  if (it == s.cand.end()) return;  // not (any longer) a neighbor of ours
+  it->second.incarnation = std::max(it->second.incarnation, msg.origin_info.incarnation);
+  it->second.last_heard = now;
+  if (!config_.fd.enabled || s.phys.count(msg.origin)) return;
+  auto fd_it = s.fd.find(msg.origin);
+  if (fd_it == s.fd.end())
+    s.fd.emplace(msg.origin, PhiAccrualDetector(config_.fd, now));
+  else
+    fd_it->second.heartbeat(now);
 }
 
 // --------------------------------------------------------------------------
@@ -519,21 +681,27 @@ std::vector<NodeInfo> MdtOverlay::neighbor_infos(NodeId u) const {
     auto it = s.cand.find(y);
     if (it == s.cand.end()) continue;
     infos.push_back(NodeInfo{y, it->second.pos, it->second.err, /*joined=*/true,
-                             it->second.pos_version});
+                             it->second.pos_version, it->second.incarnation});
   }
   return infos;
 }
 
 void MdtOverlay::reply_with_neighbor_set(NodeId u, const Envelope& request, Kind kind) {
   NodeState& s = st(u);
+  // A request from a past incarnation must neither teach us the dead life's
+  // state nor earn a reply (the link layer would refuse to deliver it to the
+  // new incarnation anyway).
+  if (stale_origin(u, request.origin_info)) return;
+  note_direct_contact(u, request.origin_info);
   // Learn the requester: the request's accumulated cost is exactly this
   // node's routing cost back to the requester along the reverse trail.
   Candidate& c = s.cand[request.origin];
-  if (request.origin_info.pos_version >= c.pos_version) {
+  if (at_least_as_fresh(request.origin_info, c.incarnation, c.pos_version)) {
     c.pos = request.origin_info.pos;
     c.err = request.origin_info.err;
     c.pos_version = request.origin_info.pos_version;
   }
+  c.incarnation = std::max(c.incarnation, request.origin_info.incarnation);
   c.cost = request.accum_cost;
   c.path.clear();
   c.path.push_back(u);
@@ -564,12 +732,25 @@ void MdtOverlay::reply_with_neighbor_set(NodeId u, const Envelope& request, Kind
 void MdtOverlay::merge_candidate_info(NodeId u, const NodeInfo& info, NodeId via) {
   NodeState& s = st(u);
   if (info.id == u || info.id < 0) return;
+  // Tombstone: this node was evicted as dead, and only *direct* contact (or
+  // word of a strictly newer incarnation, i.e. it genuinely rebooted since)
+  // may bring it back. Second-hand gossip at the evicted incarnation is the
+  // resurrection channel the tombstone exists to block.
+  auto tomb = s.tombstones.find(info.id);
+  if (tomb != s.tombstones.end()) {
+    if (info.incarnation <= tomb->second.incarnation) {
+      ++fd_stats_.gossip_suppressed;
+      return;
+    }
+    s.tombstones.erase(tomb);
+  }
   auto it = s.cand.find(info.id);
   if (it == s.cand.end()) {
     Candidate c;
     c.pos = info.pos;
     c.err = info.err;
     c.pos_version = info.pos_version;
+    c.incarnation = info.incarnation;
     c.via = via;
     c.last_heard = net_.simulator().now();
     s.cand.emplace(info.id, std::move(c));
@@ -581,10 +762,11 @@ void MdtOverlay::merge_candidate_info(NodeId u, const NodeInfo& info, NodeId via
     // update, though, newer gossip repairs the staleness. Deliberately do
     // NOT refresh last_heard: gossip is not evidence of liveness, and
     // letting it count would keep dead nodes alive epidemically after churn.
-    if (info.pos_version > it->second.pos_version) {
+    if (strictly_fresher(info, it->second.incarnation, it->second.pos_version)) {
       it->second.pos = info.pos;
       it->second.err = info.err;
       it->second.pos_version = info.pos_version;
+      it->second.incarnation = info.incarnation;
     }
     if (!it->second.synced && via >= 0) it->second.via = via;
   }
@@ -826,10 +1008,12 @@ void MdtOverlay::recompute(NodeId u) {
     const NodeId id = it->first;
     const bool keep = contains(s.dt_nbrs, id) || s.phys.count(id) || s.pending.count(id) ||
                       now - it->second.last_heard <= config_.candidate_fresh_s;
-    if (keep)
+    if (keep) {
       ++it;
-    else
+    } else {
+      s.fd.erase(id);
       it = s.cand.erase(it);
+    }
   }
 
   // Ensure every DT neighbor has a candidate record (physical neighbors may
@@ -840,6 +1024,7 @@ void MdtOverlay::recompute(NodeId u) {
       c.pos = s.phys[y].pos;
       c.err = s.phys[y].err;
       c.pos_version = s.phys[y].pos_version;
+      c.incarnation = s.phys[y].incarnation;
       c.cost = net_.link_cost(u, y);
       c.path = {u, y};
       c.last_heard = now;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "mdt/failure_detector.hpp"
 #include "mdt/messages.hpp"
 #include "sim/netsim.hpp"
 #include "sim/reliable.hpp"
@@ -73,6 +74,12 @@ struct MdtConfig {
   // recorded during early construction never improve. bench/ablation_paths
   // quantifies the difference.
   bool refresh_paths_greedily = true;
+  // Adaptive failure detection (mdt/failure_detector.hpp). Default-off:
+  // legacy configs keep the fixed neighbor_stale_s timeout and send no
+  // heartbeats, so existing scenarios are bit-identical. When enabled, each
+  // node heartbeats its multi-hop DT neighbors on fd.heartbeat_period_s and
+  // evicts (with a tombstone) any whose phi crosses fd.phi_threshold.
+  FailureDetectorConfig fd;
 };
 
 // A neighbor as seen by VPoD's adjustment algorithm and by GDV forwarding.
@@ -118,6 +125,11 @@ class MdtOverlay {
   // J-period maintenance: refresh physical neighbors, expire soft state,
   // recompute the local DT, and re-sync every DT-neighbor pair.
   void run_maintenance_round(NodeId u);
+  // Targeted repair (used by the convergence watchdog on stuck nodes): marks
+  // every DT-neighbor exchange of u unsynced and schedules a recompute, so
+  // the full pair-sync re-runs immediately instead of at the next J period.
+  // A node that lost its join entirely restarts the join search.
+  void force_resync(NodeId u);
 
   // --- queries (used by VPoD, GDV and the evaluation harness) -------------
   bool active(NodeId u) const { return states_[static_cast<std::size_t>(u)].active; }
@@ -165,6 +177,24 @@ class MdtOverlay {
   };
   const RecomputeStats& recompute_stats() const { return recompute_stats_; }
 
+  // Failure-detector / incarnation-reconciliation counters.
+  struct FdStats {
+    std::uint64_t heartbeats_sent = 0;
+    std::uint64_t evictions = 0;            // neighbors dropped by phi crossing
+    std::uint64_t tombstones_created = 0;
+    std::uint64_t gossip_suppressed = 0;    // tombstoned gossip ignored
+    std::uint64_t stale_incarnation_dropped = 0;  // messages from a past life
+  };
+  const FdStats& fd_stats() const { return fd_stats_; }
+  // Current suspicion level u holds about multi-hop DT neighbor v (0 when no
+  // detector exists, e.g. physical neighbors). Test/diagnostic hook.
+  double suspicion(NodeId u, NodeId v) const;
+  // Test hook: runs the FD eviction path (tombstone + candidate erase +
+  // recompute) at u for neighbor y, as if y's phi had crossed the threshold.
+  // Lets tests pin the false-eviction healing behavior without contriving a
+  // real false positive.
+  void evict_for_test(NodeId u, NodeId y) { evict_neighbor(u, y); }
+
   // Receiver entry point (public so VPoD can delegate MDT kinds to it).
   void handle(NodeId to, NodeId from, Envelope msg);
 
@@ -173,6 +203,7 @@ class MdtOverlay {
     Vec pos;
     double err = 1.0;
     std::uint64_t pos_version = 0;  // version of `pos` (see NodeInfo)
+    std::uint32_t incarnation = 0;  // highest incarnation heard from this node
     double cost = graph::kInf;     // routing cost from the owner to this node
     std::vector<NodeId> path;      // physical route owner -> ... -> node
     NodeId via = -1;               // the neighbor whose reply taught us this node
@@ -223,14 +254,50 @@ class MdtOverlay {
     bool resync_scheduled = false;
     bool recompute_scheduled = false;
     sim::Time last_join_attempt = -1e18;  // rate limit for join retries
+    // Adaptive failure detection (config.fd.enabled): one phi-accrual
+    // detector per multi-hop DT neighbor, created at its first heartbeat.
+    std::map<NodeId, PhiAccrualDetector> fd;
+    // Tombstones for FD-evicted neighbors: the incarnation evicted and when.
+    // Gossip about (id, incarnation <= tombstone) is suppressed until direct
+    // contact clears it or tombstone_ttl_s expires.
+    struct Tombstone {
+      std::uint32_t incarnation = 0;
+      sim::Time created = 0.0;
+    };
+    std::map<NodeId, Tombstone> tombstones;
   };
 
   NodeState& st(NodeId u) { return states_[static_cast<std::size_t>(u)]; }
   const NodeState& st(NodeId u) const { return states_[static_cast<std::size_t>(u)]; }
 
   NodeInfo info_of(NodeId u) const {
-    return NodeInfo{u, st(u).pos, st(u).err, st(u).joined, st(u).pos_version};
+    return NodeInfo{u,           st(u).pos,          st(u).err,
+                    st(u).joined, st(u).pos_version, net_.incarnation(u)};
   }
+
+  // --- incarnation reconciliation ------------------------------------------
+  // True when `info` reports an incarnation older than what u has already
+  // recorded for that node: the message was sent before the node's last
+  // crash and must not mutate state about the new life.
+  bool stale_origin(NodeId u, const NodeInfo& info);
+  // Direct contact from (id, incarnation): clears any refuted tombstone.
+  void note_direct_contact(NodeId u, const NodeInfo& info);
+  // Lexicographic (incarnation, pos_version) freshness of `info` against a
+  // stored record.
+  static bool at_least_as_fresh(const NodeInfo& info, std::uint32_t inc, std::uint64_t ver) {
+    return std::make_pair(info.incarnation, info.pos_version) >= std::make_pair(inc, ver);
+  }
+  static bool strictly_fresher(const NodeInfo& info, std::uint32_t inc, std::uint64_t ver) {
+    return std::make_pair(info.incarnation, info.pos_version) > std::make_pair(inc, ver);
+  }
+
+  // --- adaptive failure detection ------------------------------------------
+  void schedule_fd_tick(NodeId u);
+  void fd_tick(NodeId u);
+  void send_heartbeats(NodeId u);
+  // Drops multi-hop DT neighbor y as dead: erases its soft state, writes a
+  // tombstone for its last-known incarnation, and recomputes the local DT.
+  void evict_neighbor(NodeId u, NodeId y);
 
   // --- message handling ----------------------------------------------------
   void on_hello(NodeId u, const Envelope& msg);
@@ -239,6 +306,7 @@ class MdtOverlay {
   void on_nbr_set_request(NodeId u, Envelope msg);
   void on_nbr_set_reply(NodeId u, Envelope msg);
   void on_pos_update(NodeId u, Envelope msg);
+  void on_heartbeat(NodeId u, const Envelope& msg);
 
   // --- forwarding helpers --------------------------------------------------
   // Greedy next hop toward `pos` among u's physical neighbors and DT
@@ -279,6 +347,7 @@ class MdtOverlay {
   ReliableNet* reliable_ = nullptr;
   SyncStats sync_stats_;
   RecomputeStats recompute_stats_;
+  FdStats fd_stats_;
   std::vector<NodeState> states_;
   Rng rng_;
   std::vector<NodeId> empty_path_;

@@ -1,0 +1,150 @@
+#include "sim/churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace gdvr::sim {
+namespace {
+
+// Exponential inter-arrival for a Poisson process at `rate_hz`.
+double exp_interval(Rng& rng, double rate_hz) {
+  double u = rng.uniform();
+  while (u <= 1e-300) u = rng.uniform();
+  return -std::log(u) / rate_hz;
+}
+
+// Picks a uniformly random member of `pool` and removes it (swap-pop, so the
+// pool order is permuted deterministically but membership is exact).
+int draw(Rng& rng, std::vector<int>& pool) {
+  const int i = rng.uniform_index(static_cast<int>(pool.size()));
+  const int picked = pool[static_cast<std::size_t>(i)];
+  pool[static_cast<std::size_t>(i)] = pool.back();
+  pool.pop_back();
+  return picked;
+}
+
+}  // namespace
+
+FaultSchedule continuous_churn(const ChurnConfig& config, std::uint64_t seed, int node_count,
+                               const std::vector<int>& initially_dead) {
+  GDVR_ASSERT(node_count > 1);
+  Rng rng(seed);
+  FaultSchedule s;
+  const double span = std::max(config.t_end - config.t_begin, 1e-9);
+
+  // Projected membership as the schedule unfolds. `alive`/`dead` are pools of
+  // candidate victims/joiners; the protected node never enters `alive`.
+  std::vector<char> is_dead(static_cast<std::size_t>(node_count), 0);
+  for (int u : initially_dead)
+    if (u >= 0 && u < node_count) is_dead[static_cast<std::size_t>(u)] = 1;
+  std::vector<int> alive;
+  std::vector<int> dead;
+  for (int u = 0; u < node_count; ++u) {
+    if (is_dead[static_cast<std::size_t>(u)])
+      dead.push_back(u);
+    else if (u != config.protected_node)
+      alive.push_back(u);
+  }
+  const int floor_alive = std::max(
+      2, static_cast<int>(std::ceil(config.min_alive_fraction * static_cast<double>(node_count))));
+  int alive_total = node_count - static_cast<int>(dead.size());
+
+  // --- flash-crowd instants -------------------------------------------------
+  // Evenly spaced through the window (with a small jitter) so soak scenarios
+  // stress recovery repeatedly rather than stacking all bursts at once. Times
+  // are drawn up front so the burst draws below interleave with the Poisson
+  // walk in time order: the projected pools then agree with a chronological
+  // replay of the schedule at every instant (a victim is always alive when
+  // crashed, a joiner always dead when recovered).
+  std::vector<Time> flashes;
+  for (int i = 0; i < config.flash_crowds; ++i) {
+    const double slot = span / static_cast<double>(config.flash_crowds + 1);
+    flashes.push_back(config.t_begin + slot * static_cast<double>(i + 1) +
+                      rng.uniform(-0.1, 0.1) * slot);
+  }
+  std::sort(flashes.begin(), flashes.end());
+  std::size_t next_flash = 0;
+  const auto do_flash = [&](Time at) {
+    const int want = static_cast<int>(config.flash_fraction * static_cast<double>(alive_total));
+    const int leaves = std::min({want, static_cast<int>(alive.size()),
+                                 std::max(alive_total - floor_alive, 0)});
+    const int joins = std::min(want, static_cast<int>(dead.size()));
+    for (int k = 0; k < leaves; ++k) {
+      const int victim = draw(rng, alive);
+      dead.push_back(victim);
+      --alive_total;
+      s.crash(at, victim);
+    }
+    // Joiners drawn after the leavers, so a flash crowd really swaps
+    // population (the same node never leaves and rejoins at one instant).
+    for (int k = 0; k < joins; ++k) {
+      const int joiner = draw(rng, dead);
+      alive.push_back(joiner);
+      ++alive_total;
+      s.recover(at, joiner);
+    }
+  };
+
+  // --- Poisson join/leave arrivals, merged with the flash instants ---------
+  // The processes are merged by next-event time so the interleaving (and
+  // hence the projected pools) is deterministic in the seed.
+  double next_leave = config.leave_rate_hz > 0.0
+                          ? config.t_begin + exp_interval(rng, config.leave_rate_hz)
+                          : config.t_end + 1.0;
+  double next_join = config.join_rate_hz > 0.0
+                         ? config.t_begin + exp_interval(rng, config.join_rate_hz)
+                         : config.t_end + 1.0;
+  while (true) {
+    const double t = std::min(next_leave, next_join);
+    while (next_flash < flashes.size() && flashes[next_flash] <= std::min(t, config.t_end)) {
+      do_flash(flashes[next_flash]);
+      ++next_flash;
+    }
+    if (t >= config.t_end) break;
+    if (next_leave <= next_join) {
+      if (!alive.empty() && alive_total > floor_alive) {
+        const int victim = draw(rng, alive);
+        dead.push_back(victim);
+        --alive_total;
+        s.crash(next_leave, victim);
+      }
+      next_leave += exp_interval(rng, config.leave_rate_hz);
+    } else {
+      if (!dead.empty()) {
+        const int joiner = draw(rng, dead);
+        alive.push_back(joiner);
+        ++alive_total;
+        s.recover(next_join, joiner);
+      }
+      next_join += exp_interval(rng, config.join_rate_hz);
+    }
+  }
+
+  // --- partition/heal cycles ------------------------------------------------
+  for (int i = 0; i < config.partition_cycles; ++i) {
+    const double slot = span / static_cast<double>(config.partition_cycles + 1);
+    const double dur = rng.uniform(0.75, 1.25) * config.partition_s;
+    const Time at = config.t_begin + slot * static_cast<double>(i + 1) +
+                    rng.uniform(-0.1, 0.1) * slot;
+    s.partition(std::min(at, config.t_end - dur), dur, config.partition_fraction);
+  }
+  return s;
+}
+
+FaultSchedule flash_crowd(Time at, int leaves, const std::vector<int>& leave_pool,
+                          int joins, const std::vector<int>& join_pool, std::uint64_t seed) {
+  Rng rng(seed);
+  FaultSchedule s;
+  std::vector<int> lp = leave_pool;
+  std::vector<int> jp = join_pool;
+  leaves = std::min(leaves, static_cast<int>(lp.size()));
+  joins = std::min(joins, static_cast<int>(jp.size()));
+  for (int k = 0; k < leaves; ++k) s.crash(at, draw(rng, lp));
+  for (int k = 0; k < joins; ++k) s.recover(at, draw(rng, jp));
+  return s;
+}
+
+}  // namespace gdvr::sim

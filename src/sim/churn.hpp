@@ -1,0 +1,63 @@
+// Continuous churn workload generation.
+//
+// Where ChaosConfig/random_chaos model a bounded fault *storm* (a fixed
+// number of crash cycles inside a window), this module models sustained
+// *membership* churn: Poisson join/leave arrival processes, flash-crowd
+// bursts (a large fraction of the network swapped out at one instant, the
+// paper's Figure 17 event generalized), and periodic partition/heal cycles.
+// The output is an ordinary FaultSchedule -- crash/recover/partition actions
+// with concrete victims and times -- so churn composes with every existing
+// piece of the fault machinery: `merge` with a chaos storm, install on any
+// FaultInjector, describe() for reproduction.
+//
+// Determinism: a (config, seed, node_count, initially_dead) tuple always
+// expands to the same schedule. The generator tracks the projected alive set
+// as it walks forward in time, so victims are always (projected) alive and
+// joiners (projected) dead; `min_alive_fraction` bounds how deep sustained
+// departures can drain the network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/faults.hpp"
+
+namespace gdvr::sim {
+
+struct ChurnConfig {
+  Time t_begin = 0.0;
+  Time t_end = 100.0;
+  // Poisson arrival rates (events per second of simulated time). A leave
+  // crashes a random projected-alive node; a join recovers a random
+  // projected-dead one. Rates of 0 disable that process.
+  double leave_rate_hz = 0.0;
+  double join_rate_hz = 0.0;
+  // Flash crowds: at `flash_crowds` instants spread over the window, a
+  // `flash_fraction` of the projected-alive population leaves and an equal
+  // number of projected-dead nodes (as available) joins simultaneously.
+  int flash_crowds = 0;
+  double flash_fraction = 0.25;
+  // Partition/heal cycles (resolved topologically at install time by
+  // FaultInjector over the live component).
+  int partition_cycles = 0;
+  double partition_s = 12.0;
+  double partition_fraction = 0.5;
+  int protected_node = 0;          // never crashed (e.g. the token origin)
+  double min_alive_fraction = 0.5; // leaves are suppressed below this floor
+};
+
+// Expands a ChurnConfig into a concrete crash/recover/partition schedule,
+// deterministic in (config, seed). `initially_dead` seeds the projected dead
+// pool (latent nodes a churn experiment brings in later).
+FaultSchedule continuous_churn(const ChurnConfig& config, std::uint64_t seed, int node_count,
+                               const std::vector<int>& initially_dead = {});
+
+// One flash-crowd event as a standalone schedule: `leaves` distinct victims
+// drawn from `leave_pool` crash at `at`, and `joins` nodes drawn in order
+// from `join_pool` recover at the same instant. Deterministic in `seed`.
+// Generalizes the paper's Figure 17 churn event (150 of 200 fail, 150 latent
+// sites join).
+FaultSchedule flash_crowd(Time at, int leaves, const std::vector<int>& leave_pool,
+                          int joins, const std::vector<int>& join_pool, std::uint64_t seed);
+
+}  // namespace gdvr::sim

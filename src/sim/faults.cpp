@@ -265,21 +265,33 @@ void FaultInjector::begin_partition(const FaultAction& a) {
   const int n = actions_.node_count();
   if (n <= 1 || edges.empty()) return;
 
+  // Liveness-aware view: the split is computed over the *live* component, so
+  // a crashed node can neither seed the BFS nor act as a conduit that lets
+  // side A swallow nodes it could not reach through live links. Edges with a
+  // dead endpoint are excluded from adjacency but still eligible for the cut
+  // below (a victim rejoining mid-partition must not bridge the split).
+  const auto alive = [&](int u) { return !actions_.is_alive || actions_.is_alive(u); };
+  int n_alive = 0;
+  for (int u = 0; u < n; ++u)
+    if (alive(u)) ++n_alive;
+  if (n_alive <= 1) return;
   std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
   for (const auto& [u, v] : edges) {
+    if (!alive(u) || !alive(v)) continue;
     adj[static_cast<std::size_t>(u)].push_back(v);
     adj[static_cast<std::size_t>(v)].push_back(u);
   }
   // Deterministic per-partition seed: grow side A by BFS from a tag-derived
-  // alive node until it holds `fraction` of the nodes, then cut every edge
-  // with exactly one endpoint in A. BFS keeps side A connected, so the cut
-  // really disconnects two internally connected halves.
+  // alive node until it holds `fraction` of the live nodes, then cut every
+  // edge with exactly one endpoint in A. BFS keeps side A connected, so the
+  // cut really disconnects two internally connected halves.
   Rng rng(0xFA017Full ^ (a.tag * 0x9E3779B97F4A7C15ull));
   int start = rng.uniform_index(n);
-  for (int probe = 0; probe < n && actions_.is_alive && !actions_.is_alive(start); ++probe)
+  for (int probe = 0; probe < n && !alive(start); ++probe)
     start = (start + 1) % n;
+  if (!alive(start)) return;
   const auto target = static_cast<std::size_t>(
-      std::max(1.0, a.magnitude * static_cast<double>(n)));
+      std::max(1.0, a.magnitude * static_cast<double>(n_alive)));
   std::vector<char> in_a(static_cast<std::size_t>(n), 0);
   std::queue<int> bfs;
   bfs.push(start);

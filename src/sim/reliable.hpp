@@ -66,6 +66,12 @@ struct ReliableConfig {
   double rto_initial_s = 0.3;  // first retransmit timeout (per-hop delays are <= 0.1 s)
   double rto_backoff = 2.0;
   double rto_max_s = 4.0;
+  // Deterministic retransmit jitter: each armed timeout is stretched by a
+  // factor in [1, 1 + rto_jitter) derived by hashing (sequence, attempt), so
+  // retries that were synchronized by a shared trigger (a loss burst opening,
+  // a partition healing) fan out instead of re-colliding every backoff step.
+  // Same (send order, attempt) -> same jitter: runs stay bit-reproducible.
+  double rto_jitter = 0.1;
   int max_attempts = 6;        // total transmissions per hop before giving up
   std::size_t dedup_window = 1 << 16;
 };
@@ -85,6 +91,12 @@ class ReliableTransport {
   // `make_ack` builds the ACK message the receiver returns for a sequence
   // (it travels unreliably over the same NetSim).
   using AckFactory = std::function<Message(int from, int to, std::uint64_t seq)>;
+  // Invoked when a hop transfer exhausts max_attempts while the sender is
+  // still alive: the explicit "this hop is not answering" signal (the
+  // protocol layer can evict the next hop or reroute instead of waiting for
+  // soft-state timeouts). Give-ups caused by the sender itself dying are not
+  // reported -- the sender's protocol state is gone with it.
+  using GiveUpHandler = std::function<void(int from, int to, const Message& msg)>;
 
   ReliableTransport(NetSim<Message>& net, ReliableConfig config, AckFactory make_ack)
       : net_(net),
@@ -134,6 +146,7 @@ class ReliableTransport {
 
   const ReliableStats& stats() const { return stats_; }
   std::size_t in_flight() const { return pending_.size(); }
+  void set_give_up_handler(GiveUpHandler handler) { give_up_ = std::move(handler); }
 
  private:
   struct Pending {
@@ -145,12 +158,24 @@ class ReliableTransport {
     Simulator::EventId timer = Simulator::kInvalidEvent;
   };
 
+  // Deterministic jitter factor in [1, 1 + rto_jitter) for a given
+  // (sequence, attempt) pair (SplitMix64 finalizer as the hash).
+  double jitter_factor(std::uint64_t seq, int attempt) const {
+    if (config_.rto_jitter <= 0.0) return 1.0;
+    std::uint64_t z = seq * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(attempt);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return 1.0 + config_.rto_jitter * (static_cast<double>(z >> 11) * 0x1.0p-53);
+  }
+
   void transmit(Pending& p, std::uint64_t seq) {
     ++p.attempts;
     if (p.attempts > 1) ++stats_.retransmissions;
     (void)net_.send(p.from, p.to, Message(p.msg));  // may fail; the timer retries
-    p.timer = net_.simulator().schedule_in(backoff_.delay(p.attempts),
-                                           [this, seq] { on_timeout(seq); });
+    p.timer = net_.simulator().schedule_in(
+        backoff_.delay(p.attempts) * jitter_factor(seq, p.attempts),
+        [this, seq] { on_timeout(seq); });
   }
 
   void on_timeout(std::uint64_t seq) {
@@ -162,8 +187,12 @@ class ReliableTransport {
     const bool sender_gone =
         !net_.alive(p.from) || net_.incarnation(p.from) != p.from_incarnation;
     if (sender_gone || p.attempts >= config_.max_attempts) {
+      // Detach the entry before the handler runs: the handler may re-enter
+      // the transport (e.g. resend over another route).
+      Pending done = std::move(it->second);
       pending_.erase(it);
       ++stats_.gave_up;
+      if (!sender_gone && give_up_) give_up_(done.from, done.to, done.msg);
       return;
     }
     transmit(p, seq);
@@ -174,6 +203,7 @@ class ReliableTransport {
   RetransmitBackoff backoff_;
   DedupWindow dedup_;
   AckFactory make_ack_;
+  GiveUpHandler give_up_;
   std::map<std::uint64_t, Pending> pending_;
   std::uint64_t next_seq_ = 1;
   ReliableStats stats_;

@@ -1,0 +1,169 @@
+// Tests for the continuous churn workload generator: determinism, window and
+// protected-node discipline, projected-liveness consistency, the alive
+// floor, flash crowds, and composability with chaos schedules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "sim/churn.hpp"
+#include "sim/faults.hpp"
+
+namespace gdvr::sim {
+namespace {
+
+ChurnConfig busy_config() {
+  ChurnConfig c;
+  c.t_begin = 10.0;
+  c.t_end = 210.0;
+  c.leave_rate_hz = 0.2;
+  c.join_rate_hz = 0.2;
+  c.flash_crowds = 2;
+  c.partition_cycles = 1;
+  return c;
+}
+
+TEST(Churn, ScheduleIsSeedDeterministic) {
+  const ChurnConfig c = busy_config();
+  const FaultSchedule a = continuous_churn(c, 99, 40);
+  const FaultSchedule b = continuous_churn(c, 99, 40);
+  const FaultSchedule d = continuous_churn(c, 100, 40);
+  EXPECT_EQ(a.describe(), b.describe());
+  EXPECT_NE(a.describe(), d.describe());
+  EXPECT_GT(a.actions().size(), 10u);
+}
+
+TEST(Churn, StaysInWindowAndSparesProtectedNode) {
+  ChurnConfig c = busy_config();
+  c.protected_node = 3;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const FaultSchedule s = continuous_churn(c, seed, 30);
+    for (const FaultAction& a : s.actions()) {
+      EXPECT_GE(a.at, c.t_begin);
+      EXPECT_LE(a.at, c.t_end);
+      if (a.kind == FaultKind::kCrash) {
+        EXPECT_NE(a.node, c.protected_node);
+      }
+    }
+  }
+}
+
+// Chronological replay of the generated schedule: every crash must hit a
+// currently-alive node, every recover a currently-dead one (this is what
+// makes the schedule installable: FaultInjector's crash hook maps to
+// fail_node, which expects a live victim), and the alive population must
+// never drop below the configured floor.
+TEST(Churn, ReplayedMembershipIsConsistentAndFloored) {
+  const int n = 40;
+  ChurnConfig c = busy_config();
+  c.leave_rate_hz = 0.5;  // aggressive: presses against the floor
+  c.join_rate_hz = 0.1;
+  c.min_alive_fraction = 0.5;
+  const int floor_alive =
+      std::max(2, static_cast<int>(std::ceil(c.min_alive_fraction * static_cast<double>(n))));
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const FaultSchedule s = continuous_churn(c, seed, n);
+    std::vector<FaultAction> acts = s.actions();
+    std::stable_sort(acts.begin(), acts.end(),
+                     [](const FaultAction& x, const FaultAction& y) { return x.at < y.at; });
+    std::vector<char> alive(static_cast<std::size_t>(n), 1);
+    int alive_count = n;
+    for (const FaultAction& a : acts) {
+      if (a.kind == FaultKind::kCrash) {
+        ASSERT_TRUE(alive[static_cast<std::size_t>(a.node)])
+            << "seed " << seed << ": crash of already-dead node " << a.node << " at " << a.at;
+        alive[static_cast<std::size_t>(a.node)] = 0;
+        --alive_count;
+        EXPECT_GE(alive_count, floor_alive) << "seed " << seed;
+      } else if (a.kind == FaultKind::kRecover) {
+        ASSERT_FALSE(alive[static_cast<std::size_t>(a.node)])
+            << "seed " << seed << ": recover of alive node " << a.node << " at " << a.at;
+        alive[static_cast<std::size_t>(a.node)] = 1;
+        ++alive_count;
+      }
+    }
+  }
+}
+
+TEST(Churn, InitiallyDeadNodesSeedTheJoinPool) {
+  ChurnConfig c;
+  c.t_begin = 0.0;
+  c.t_end = 100.0;
+  c.join_rate_hz = 0.3;  // joins only: the dead pool is the initially_dead set
+  const std::vector<int> latent = {5, 6, 7};
+  const FaultSchedule s = continuous_churn(c, 11, 10, latent);
+  std::set<int> recovered;
+  for (const FaultAction& a : s.actions()) {
+    ASSERT_EQ(a.kind, FaultKind::kRecover);
+    recovered.insert(a.node);
+  }
+  // Only latent nodes can join, each at most once (nobody re-dies).
+  EXPECT_LE(recovered.size(), latent.size());
+  for (int u : recovered) EXPECT_TRUE(std::count(latent.begin(), latent.end(), u)) << u;
+}
+
+TEST(Churn, FlashCrowdSwapsDistinctNodesAtOneInstant) {
+  const std::vector<int> leave_pool = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<int> join_pool = {20, 21, 22, 23};
+  const FaultSchedule s = flash_crowd(5.0, 3, leave_pool, 2, join_pool, 77);
+  std::set<int> crashed, recovered;
+  for (const FaultAction& a : s.actions()) {
+    EXPECT_DOUBLE_EQ(a.at, 5.0);
+    if (a.kind == FaultKind::kCrash) {
+      EXPECT_TRUE(std::count(leave_pool.begin(), leave_pool.end(), a.node));
+      crashed.insert(a.node);
+    } else {
+      ASSERT_EQ(a.kind, FaultKind::kRecover);
+      EXPECT_TRUE(std::count(join_pool.begin(), join_pool.end(), a.node));
+      recovered.insert(a.node);
+    }
+  }
+  EXPECT_EQ(crashed.size(), 3u);  // distinct victims
+  EXPECT_EQ(recovered.size(), 2u);
+  // Requests beyond the pool are clamped, not invented.
+  const FaultSchedule big = flash_crowd(1.0, 100, leave_pool, 100, join_pool, 77);
+  EXPECT_EQ(big.actions().size(), leave_pool.size() + join_pool.size());
+}
+
+TEST(Churn, ComposesWithChaosViaMerge) {
+  ChurnConfig cc = busy_config();
+  cc.partition_cycles = 0;
+  FaultSchedule churn = continuous_churn(cc, 5, 30);
+  const std::size_t churn_actions = churn.actions().size();
+
+  ChaosConfig chc;
+  chc.t_begin = cc.t_begin;
+  chc.t_end = cc.t_end;
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i + 1 < 30; ++i) edges.emplace_back(i, i + 1);
+  const FaultSchedule storm = FaultSchedule::random_chaos(chc, 6, 30, edges);
+
+  churn.merge(storm);
+  EXPECT_EQ(churn.actions().size(), churn_actions + storm.actions().size());
+  EXPECT_LE(churn.quiesce_time(), cc.t_end);
+  const std::string text = churn.describe();
+  EXPECT_NE(text.find("crash"), std::string::npos);
+  EXPECT_NE(text.find("loss-start"), std::string::npos);
+}
+
+TEST(Churn, PartitionCyclesEmitPairedActionsInsideWindow) {
+  ChurnConfig c;
+  c.t_begin = 0.0;
+  c.t_end = 100.0;
+  c.partition_cycles = 3;
+  c.partition_s = 8.0;
+  const FaultSchedule s = continuous_churn(c, 21, 20);
+  int begins = 0, ends = 0;
+  for (const FaultAction& a : s.actions()) {
+    if (a.kind == FaultKind::kPartitionStart) ++begins;
+    if (a.kind == FaultKind::kPartitionEnd) ++ends;
+    EXPECT_LE(a.at, c.t_end);
+  }
+  EXPECT_EQ(begins, 3);
+  EXPECT_EQ(ends, 3);
+}
+
+}  // namespace
+}  // namespace gdvr::sim

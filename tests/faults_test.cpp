@@ -214,6 +214,31 @@ TEST(FaultInjector, PartitionsResolveAgainstCurrentLiveness) {
   EXPECT_EQ(w.reachable_from(0), n);
 }
 
+TEST(FaultInjector, PartitionSplitsTheLiveComponent) {
+  // With a contiguous stretch of crashed nodes, the ring's live component is
+  // a path. The partition must bipartition *that* -- seeding and growing its
+  // BFS over live nodes only -- rather than wasting the cut on the dead
+  // region (which would leave the live side fully connected).
+  const int n = 20;
+  World w(n, ring_edges(n));
+  for (int u : {12, 13, 14, 15}) w.net.set_alive(u, false);
+  const int live = n - 4;
+  FaultInjector inj(w.sim, w.actions());
+  FaultSchedule s;
+  s.partition(1.0, 4.0, 0.5);
+  inj.install(s);
+
+  w.sim.run_until(2.0);
+  EXPECT_EQ(inj.partitions_injected(), 1);
+  const int during = w.reachable_from(0);
+  EXPECT_LT(during, live);      // the live component is genuinely split
+  EXPECT_GE(during, live / 4);  // into two real sides, not an isolated node
+
+  w.sim.run_until(6.0);
+  for (int u : {12, 13, 14, 15}) w.net.set_alive(u, true);
+  EXPECT_EQ(w.reachable_from(0), n);  // heal + revive restores everything
+}
+
 TEST(FaultInjector, ComposedSchedulesInstallIncrementally) {
   World w(6, ring_edges(6));
   FaultInjector inj(w.sim, w.actions());

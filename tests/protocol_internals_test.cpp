@@ -320,6 +320,63 @@ TEST(ProtocolInternals, RecomputeSteadyStateOnRandomTopology) {
   EXPECT_LE(rebuilds * 10, calls) << rebuilds << " rebuilds in " << calls << " calls";
 }
 
+TEST(ProtocolInternals, StaleIncarnationMessageCannotMutateNewLife) {
+  // The incarnation-reconciliation property: a message carrying state from a
+  // node's incarnation k must never mutate what a receiver records about
+  // incarnation k+1 -- even if the stale message claims an arbitrarily high
+  // pos_version (ordering is lexicographic on (incarnation, pos_version)).
+  Line line(4);
+  line.start_sequential();
+  const std::uint32_t old_inc = line.net->incarnation(2);
+
+  // Node 2 crashes and rejoins: the link layer bumps its incarnation.
+  line.overlay->deactivate(2);
+  line.sim.run_until(line.sim.now() + 2.0);
+  line.net->set_alive(2, true);
+  line.overlay->activate(2, Vec{2.0, 0.2}, false);
+  line.overlay->start_join(2);
+  line.sim.run_until(line.sim.now() + 15.0);
+  ASSERT_TRUE(line.overlay->joined(2));
+  ASSERT_EQ(line.net->incarnation(2), old_inc + 1);
+  auto rec = line.overlay->phys_info(1).find(2);
+  ASSERT_NE(rec, line.overlay->phys_info(1).end());
+  ASSERT_EQ(rec->second.incarnation, old_inc + 1);
+  const Vec fresh_pos = rec->second.pos;
+
+  // A position update from the dead incarnation arrives late (e.g. it was in
+  // flight across a long virtual link when node 2 crashed). It must be
+  // dropped outright, whatever pos_version it advertises.
+  Envelope stale;
+  stale.kind = Kind::kPosUpdate;
+  stale.origin = 2;
+  stale.target = 1;
+  stale.origin_info =
+      NodeInfo{2, Vec{99.0, 99.0}, 0.5, true, /*pos_version=*/1u << 30, old_inc};
+  const std::uint64_t dropped_before = line.overlay->fd_stats().stale_incarnation_dropped;
+  line.overlay->handle(1, 2, stale);
+  EXPECT_EQ(line.overlay->phys_info(1).at(2).pos, fresh_pos);
+  EXPECT_EQ(line.overlay->phys_info(1).at(2).incarnation, old_inc + 1);
+  EXPECT_EQ(line.overlay->fd_stats().stale_incarnation_dropped, dropped_before + 1);
+
+  // The same stale info smuggled in as second-hand gossip (a neighbor-set
+  // reply payload) must lose the lexicographic freshness race too.
+  Envelope gossip;
+  gossip.kind = Kind::kNbrSetReply;
+  gossip.origin = 0;
+  gossip.target = 1;
+  gossip.origin_info = line.overlay->phys_info(1).at(0);
+  gossip.origin_info.incarnation = line.net->incarnation(0);
+  gossip.nbr_infos.push_back(
+      NodeInfo{2, Vec{99.0, 99.0}, 0.5, true, /*pos_version=*/1u << 30, old_inc});
+  line.overlay->handle(1, 0, gossip);
+  line.sim.run_until(line.sim.now() + 2.0);
+  for (const NeighborView& v : line.overlay->neighbor_views(1)) {
+    if (v.id == 2) {
+      EXPECT_EQ(v.pos, fresh_pos);
+    }
+  }
+}
+
 TEST(ProtocolInternals, SetPositionSameValueKeepsVersion) {
   // pos_version names the position *value*: re-announcing an identical
   // position must not bump the version (and so must not thrash the

@@ -187,6 +187,87 @@ TEST(ReliableTransport, SenderRejoinAbortsStaleRetries) {
   EXPECT_EQ(f.rel.in_flight(), 0u);
 }
 
+TEST(ReliableTransport, RetransmitJitterIsRunToRunDeterministic) {
+  // Retransmit timeouts carry a deterministic jitter factor hashed from
+  // (sequence, attempt): two identical runs must produce bit-identical
+  // retransmission schedules and deliveries, jitter included.
+  auto run = [] {
+    Fixture f(21);
+    f.net.set_fault_loss(0.5);
+    for (int i = 0; i < 30; ++i) f.rel.send(0, 1, RMsg{i});
+    f.sim.run_all();
+    return std::make_tuple(f.delivered, f.rel.stats().retransmissions, f.rel.stats().acked,
+                           f.rel.stats().gave_up);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(ReliableTransport, JitterZeroKeepsExactBackoffSchedule) {
+  // rto_jitter = 0 must reproduce the exact textbook backoff: with a dead
+  // receiver and max_attempts = 3, the give-up lands after
+  // 0.3 + 0.6 = 0.9 s (the third attempt's timer is the last to arm).
+  ReliableConfig cfg;
+  cfg.rto_jitter = 0.0;
+  cfg.max_attempts = 3;
+  Fixture f(22, cfg);
+  f.net.set_alive(1, false);
+  f.rel.send(0, 1, RMsg{1});
+  f.sim.run_until(0.89);
+  EXPECT_EQ(f.rel.in_flight(), 1u);
+  f.sim.run_until(0.91 + cfg.rto_initial_s * 4.0);  // third timer expires
+  EXPECT_EQ(f.rel.stats().gave_up, 1u);
+}
+
+TEST(ReliableTransport, GiveUpHandlerReportsUnreachableHop) {
+  ReliableConfig cfg;
+  cfg.max_attempts = 3;
+  Fixture f(23, cfg);
+  std::vector<std::tuple<int, int, int>> reported;
+  f.rel.set_give_up_handler(
+      [&](int from, int to, const RMsg& m) { reported.emplace_back(from, to, m.payload); });
+  f.net.set_alive(1, false);
+  f.rel.send(0, 1, RMsg{5});
+  f.sim.run_all();
+  ASSERT_EQ(reported.size(), 1u);
+  EXPECT_EQ(reported[0], std::make_tuple(0, 1, 5));
+  EXPECT_EQ(f.rel.stats().gave_up, 1u);
+  EXPECT_EQ(f.rel.in_flight(), 0u);
+}
+
+TEST(ReliableTransport, GiveUpHandlerSilentWhenSenderDied) {
+  // The handler is an "evict this hop" signal for the sender's protocol
+  // state; when the sender itself died, that state is gone and the handler
+  // must not fire.
+  Fixture f(24);
+  int fired = 0;
+  f.rel.set_give_up_handler([&](int, int, const RMsg&) { ++fired; });
+  f.net.set_fault_loss(1.0);
+  f.rel.send(0, 1, RMsg{9});
+  f.sim.run_until(0.1);
+  f.net.set_alive(0, false);
+  f.sim.run_all();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(f.rel.stats().gave_up, 1u);
+}
+
+TEST(ReliableTransport, GiveUpHandlerMayReenterTheTransport) {
+  // The pending entry is detached before the handler runs, so a handler that
+  // immediately resends (e.g. over another route) must not corrupt state.
+  ReliableConfig cfg;
+  cfg.max_attempts = 2;
+  Fixture f(25, cfg);
+  int fired = 0;
+  f.rel.set_give_up_handler([&](int from, int to, const RMsg& m) {
+    if (++fired == 1) f.rel.send(from, to, m);  // one re-send, then give up for good
+  });
+  f.net.set_alive(1, false);
+  f.rel.send(0, 1, RMsg{3});
+  f.sim.run_all();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(f.rel.stats().gave_up, 2u);
+  EXPECT_EQ(f.rel.in_flight(), 0u);
+}
+
 TEST(ReliableTransport, AckAtWrongNodeIsIgnored) {
   Fixture f(18);
   f.rel.send(0, 1, RMsg{1});

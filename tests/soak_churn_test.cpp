@@ -1,0 +1,148 @@
+// Long-horizon chaos soak (ctest label: soak). A 60-node network runs 30
+// adjustment periods of sustained Poisson churn (>= 5% of the nodes swapped
+// per period) plus one partition/heal cycle, with the full robustness stack
+// on: phi-accrual failure detection, incarnation/tombstone reconciliation,
+// reliable control transport, and the convergence watchdog supervising every
+// period. Acceptance, per the robustness milestone:
+//
+//  * delivery recovers to within 2% of the pre-churn steady state within 3
+//    adjustment periods of every churn event (watchdog episode durations);
+//  * zero invariant-audit failures across the whole run;
+//  * the run is deterministic for a fixed seed, and bit-identical between
+//    GDVR_THREADS=1 and GDVR_THREADS=4.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "eval/protocol_runner.hpp"
+#include "eval/watchdog.hpp"
+#include "radio/topology.hpp"
+#include "sim/churn.hpp"
+
+namespace gdvr::eval {
+namespace {
+
+struct SoakOutcome {
+  std::uint64_t digest = 0;  // FNV-1a over every audit's full report
+  std::size_t audits = 0;
+  double baseline = 0.0;
+  double period_len = 0.0;
+  std::vector<double> recoveries;
+  std::uint64_t audit_failures = 0;
+  std::uint64_t resyncs = 0;
+  std::uint64_t fd_evictions = 0;
+  std::uint64_t stale_dropped = 0;
+};
+
+void fnv(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+}
+
+void fnv(std::uint64_t& h, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  fnv(h, bits);
+}
+
+SoakOutcome run_soak(std::uint64_t seed) {
+  const int n = 60;
+  const int periods = 30;
+  radio::TopologyConfig tc;
+  tc.n = n;
+  tc.seed = seed;
+  const double scale = std::sqrt(static_cast<double>(n) / 200.0);
+  tc.width_m = 100.0 * scale;
+  tc.height_m = 100.0 * scale;
+  tc.target_avg_degree = 14.5;
+  const radio::Topology topo = radio::make_random_topology(tc);
+
+  vpod::VpodConfig vc;
+  vc.dim = 3;
+  vc.mdt.fd.enabled = true;
+  VpodRunner runner(topo, /*use_etx=*/false, vc, {}, seed);
+  runner.enable_reliable_sync();
+  const double period_len = vc.join_period_s + vc.adjust_period_s;
+
+  runner.run_to_period(3);  // steady state before supervision
+
+  WatchdogConfig wc;
+  wc.period_s = period_len;
+  wc.audit.pair_samples = 150;
+  wc.audit.seed = seed;
+  ConvergenceWatchdog dog(runner, wc);
+  const sim::Time t_end = runner.simulator().now() + periods * period_len;
+  dog.start(t_end);
+
+  // >= 5% of the population churning per adjustment period, sustained, plus
+  // one partition/heal cycle mid-run. A quiet tail lets the final audits
+  // observe recovery from the last events.
+  sim::ChurnConfig cc;
+  cc.t_begin = runner.simulator().now() + period_len;
+  cc.t_end = t_end - 2.0 * period_len;
+  cc.leave_rate_hz = 0.05 * static_cast<double>(n) / period_len;
+  cc.join_rate_hz = cc.leave_rate_hz;
+  cc.partition_cycles = 1;
+  cc.partition_s = 0.5 * period_len;
+  runner.faults().install(sim::continuous_churn(cc, seed + 7, n));
+  runner.simulator().run_until(t_end + 1.0);
+
+  SoakOutcome out;
+  out.audits = dog.history().size();
+  out.baseline = dog.baseline_success();
+  out.period_len = period_len;
+  out.recoveries = dog.recovery_times();
+  out.audit_failures = dog.audit_failures();
+  out.resyncs = dog.resyncs_triggered();
+  out.fd_evictions = runner.protocol().overlay().fd_stats().evictions;
+  out.stale_dropped = runner.protocol().overlay().fd_stats().stale_incarnation_dropped;
+  out.digest = 1469598103934665603ull;
+  for (const InvariantReport& r : dog.history()) {
+    fnv(out.digest, r.at);
+    fnv(out.digest, static_cast<std::uint64_t>(r.alive_nodes));
+    fnv(out.digest, static_cast<std::uint64_t>(r.joined_nodes));
+    fnv(out.digest, r.dt_accuracy);
+    fnv(out.digest, r.link_liveness);
+    fnv(out.digest, static_cast<std::uint64_t>(r.virtual_links));
+    fnv(out.digest, r.routing_success);
+    fnv(out.digest, r.stretch);
+  }
+  return out;
+}
+
+TEST(Soak, DeliveryRecoversUnderSustainedChurn) {
+  const SoakOutcome r = run_soak(2026);
+  EXPECT_EQ(r.audits, 31u);  // one per period boundary, inclusive
+  // Healthy pre-churn baseline.
+  EXPECT_GE(r.baseline, 0.95);
+  // Sustained churn really ran: the failure detector saw work.
+  EXPECT_GT(r.fd_evictions, 0u);
+  // Every degradation episode closed within 3 adjustment periods...
+  for (double t : r.recoveries)
+    EXPECT_LE(t, 3.0 * r.period_len + 1.0) << "slow recovery: " << t << " s";
+  // ...and none was left open, no node stayed stuck through a resync cycle.
+  EXPECT_EQ(r.audit_failures, 0u);
+}
+
+TEST(Soak, DeterministicAndThreadCountInvariant) {
+  // The whole run -- protocol, churn, failure detection, audits -- must be
+  // bit-identical for a fixed seed regardless of evaluation parallelism.
+  setenv("GDVR_THREADS", "1", 1);
+  const SoakOutcome serial = run_soak(77);
+  const SoakOutcome serial_again = run_soak(77);
+  setenv("GDVR_THREADS", "4", 1);
+  const SoakOutcome parallel = run_soak(77);
+  unsetenv("GDVR_THREADS");
+  EXPECT_EQ(serial.digest, serial_again.digest);
+  EXPECT_EQ(serial.digest, parallel.digest);
+  EXPECT_EQ(serial.audit_failures, parallel.audit_failures);
+  EXPECT_EQ(serial.recoveries.size(), parallel.recoveries.size());
+}
+
+}  // namespace
+}  // namespace gdvr::eval
