@@ -11,6 +11,7 @@
 // and results aggregate in trial order, keeping the output identical to a
 // sequential run.
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <set>
 
@@ -88,14 +89,76 @@ void large_smoke() {
   }
 }
 
+// Serial-vs-sharded engine sweep (DESIGN.md §4g): the full VPoD protocol --
+// token flood, MDT joins, position adjustment -- through one adjustment
+// period at large N, on the serial oracle and on the sharded engine at
+// 1/2/4/8 worker threads. The sharded rows must agree with each other
+// bit-for-bit (same message count at every thread count); the speedup
+// column is the engine's reason to exist. check.sh --release smokes the
+// n=2000 row; the n=5000 x 8-thread point is the acceptance number that
+// BM_VpodEngine re-measures into BENCH_core.json.
+void engine_sweep(bool smoke) {
+  using clock = std::chrono::steady_clock;
+  // Smoke keeps a single-core CI container honest in seconds; the full
+  // sweep is sized for a multi-core host (n=5000 serial alone runs minutes).
+  const std::vector<int> sizes = smoke ? std::vector<int>{500} : std::vector<int>{2000, 5000};
+  const std::vector<int> threads = smoke ? std::vector<int>{0, 2} : std::vector<int>{0, 1, 2, 4, 8};
+  std::printf("Engine sweep: full VPoD run to period %d | avg degree 14.5%s\n", smoke ? 0 : 1,
+              smoke ? " [smoke]" : "");
+  std::printf("%6s %10s %10s %12s %10s %10s\n", "N", "engine", "threads", "messages",
+              "wall_ms", "speedup");
+  for (const int n : sizes) {
+    const radio::Topology topo = paper_topology(n, 97);
+    double serial_ms = 0.0;
+    std::uint64_t serial_msgs = 0, sharded_msgs = 0;
+    for (const int t : threads) {
+      const bool sharded = t > 0;
+      setenv("GDVR_SIM_ENGINE", sharded ? "sharded" : "serial", 1);
+      setenv("GDVR_THREADS", std::to_string(sharded ? t : 1).c_str(), 1);
+      const auto t0 = clock::now();
+      eval::VpodRunner runner(topo, /*use_etx=*/false, paper_vpod(3));
+      // Smoke stops at the period-0 boundary (token flood + initial MDT
+      // join, the densest traffic); the full sweep runs a whole J+A cycle.
+      runner.run_to_period(smoke ? 0 : 1);
+      const double ms = std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+      const std::uint64_t msgs = runner.net().total_messages_sent();
+      if (!sharded) {
+        serial_ms = ms;
+        serial_msgs = msgs;
+      } else if (sharded_msgs == 0) {
+        sharded_msgs = msgs;
+      }
+      // Determinism cross-checks: sharded runs agree with each other at
+      // every thread count, and with the serial oracle.
+      GDVR_ASSERT(!sharded || msgs == sharded_msgs);
+      GDVR_ASSERT(serial_msgs == 0 || msgs == serial_msgs);
+      std::printf("%6d %10s %10d %12llu %10.1f %9.2fx\n", n,
+                  sharded ? "sharded" : "serial", sharded ? t : 1,
+                  static_cast<unsigned long long>(msgs), ms,
+                  serial_ms > 0.0 ? serial_ms / ms : 1.0);
+    }
+  }
+  unsetenv("GDVR_SIM_ENGINE");
+  unsetenv("GDVR_THREADS");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--large") == 0) {
-      large_smoke();
-      return 0;
-    }
+  bool want_large = false, want_sweep = false, want_smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--large") == 0) want_large = true;
+    if (std::strcmp(argv[i], "--engine-sweep") == 0) want_sweep = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) want_smoke = true;
+  }
+  if (want_large) {
+    large_smoke();
+    return 0;
+  }
+  if (want_sweep) {
+    engine_sweep(want_smoke);
+    return 0;
+  }
   const bool full = full_mode(argc, argv);
   const int runs = full ? 20 : 1;
   const int periods = full ? 25 : 10;

@@ -3,7 +3,12 @@
 // decisions, SVD, Dijkstra, and topology generation.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
 
 #include "analysis/embedding.hpp"
 #include "obs/profile.hpp"
@@ -17,6 +22,9 @@
 #include "radio/topology.hpp"
 #include "routing/mdt_view.hpp"
 #include "routing/routers.hpp"
+#include "eval/protocol_runner.hpp"
+#include "sim/netsim.hpp"
+#include "sim/simulator.hpp"
 
 namespace {
 
@@ -227,6 +235,157 @@ void BM_TopologyGenerationAllPairs(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TopologyGenerationAllPairs)->Arg(400);
+
+// The serial event loop in isolation: a ring of self-rescheduling timers,
+// measuring schedule + heap pop + slot recycle per event. This is the
+// baseline the 4-ary EventHeap was tuned against (DESIGN.md §4g) and the
+// serial term in the engine-sweep speedup curve.
+void BM_SimulatorEventLoop(benchmark::State& state) {
+  const int chains = static_cast<int>(state.range(0));
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    Rng rng(5);
+    std::function<void(int)> tick = [&](int c) {
+      ++fired;
+      sim.schedule_in(0.5 + rng.uniform(0.0, 1.0), [&tick, c] { tick(c); });
+    };
+    for (int c = 0; c < chains; ++c)
+      sim.schedule_in(rng.uniform(0.0, 1.0), [&tick, c] { tick(c); });
+    sim.run_until(100.0);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(fired));
+  state.SetLabel("chains=" + std::to_string(chains));
+}
+BENCHMARK(BM_SimulatorEventLoop)->Arg(64)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+// One NetSim transmission end to end: link-up check (LinkSet), per-node RNG
+// delay draw, node-lane schedule, delivery. The dominant inner loop of every
+// protocol run.
+void BM_NetSimSend(benchmark::State& state) {
+  static const RoutingFixture fx;
+  sim::Simulator sim;
+  sim::NetSim<int> net(sim, fx.topo.etx, 0.01, 0.1, /*seed=*/3);
+  net.set_receiver([](int, int, int) {});
+  Rng rng(9);
+  const int n = fx.topo.size();
+  std::uint64_t sent = 0;
+  for (auto _ : state) {
+    for (int k = 0; k < 64; ++k) {
+      const int u = rng.uniform_index(n);
+      const auto& nbrs = fx.topo.etx.neighbors(u);
+      if (nbrs.empty()) continue;
+      const int v = nbrs[static_cast<std::size_t>(rng.uniform_index(
+                             static_cast<int>(nbrs.size())))].to;
+      net.send(u, v, 0);
+      ++sent;
+    }
+    sim.run_until(sim.now() + 1.0);  // drain deliveries
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sent));
+}
+BENCHMARK(BM_NetSimSend);
+
+// Full-protocol engine comparison: one VPoD run (token flood + initial MDT
+// join) through the engine-selection seam. threads == 0 is the serial
+// oracle; threads >= 1 runs the sharded engine with that worker count. The
+// serial-vs-sharded@1 ratio is the engine's bookkeeping overhead (a few
+// percent); the sharded@N rows record the wall-clock speedup curve on
+// multi-core hosts (on a single-core container they measure overhead only --
+// see the engine-sweep section of EXPERIMENTS.md).
+void BM_VpodEngine(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  static std::map<int, radio::Topology> topos;
+  auto it = topos.find(n);
+  if (it == topos.end()) it = topos.emplace(n, bench::paper_topology(n, 97)).first;
+  const radio::Topology& topo = it->second;
+
+  const char* prev_engine = std::getenv("GDVR_SIM_ENGINE");
+  const char* prev_threads = std::getenv("GDVR_THREADS");
+  const std::string saved_engine = prev_engine != nullptr ? prev_engine : "";
+  const std::string saved_threads = prev_threads != nullptr ? prev_threads : "";
+  setenv("GDVR_SIM_ENGINE", threads > 0 ? "sharded" : "serial", 1);
+  setenv("GDVR_THREADS", std::to_string(threads > 0 ? threads : 1).c_str(), 1);
+
+  std::uint64_t msgs = 0;
+  for (auto _ : state) {
+    eval::VpodRunner runner(topo, /*use_etx=*/false, bench::paper_vpod(3));
+    runner.run_to_period(0);
+    msgs = runner.net().total_messages_sent();
+  }
+
+  if (prev_engine != nullptr)
+    setenv("GDVR_SIM_ENGINE", saved_engine.c_str(), 1);
+  else
+    unsetenv("GDVR_SIM_ENGINE");
+  if (prev_threads != nullptr)
+    setenv("GDVR_THREADS", saved_threads.c_str(), 1);
+  else
+    unsetenv("GDVR_THREADS");
+
+  state.counters["messages"] = static_cast<double>(msgs);
+  state.SetLabel(std::string(threads > 0 ? "sharded" : "serial") +
+                 " threads=" + std::to_string(threads > 0 ? threads : 1));
+}
+BENCHMARK(BM_VpodEngine)
+    ->Args({500, 0})
+    ->Args({500, 1})
+    ->Args({500, 4})
+    ->Unit(benchmark::kMillisecond);
+
+// The downed-link set replacement (std::set<pair> -> open-addressing
+// LinkSet): a fault-storm mix of inserts/erases over a mostly-hit
+// contains() stream, the shape link_up() sees on the send path.
+template <typename SetT, typename Contains, typename Insert, typename Erase>
+void down_links_mix(benchmark::State& state, SetT& set, Contains&& contains, Insert&& insert,
+                    Erase&& erase) {
+  Rng rng(11);
+  const int n = 2000;
+  std::vector<std::pair<int, int>> downed;
+  for (int i = 0; i < 200; ++i) {
+    const int u = rng.uniform_index(n);
+    const int v = (u + 1 + rng.uniform_index(16)) % n;
+    insert(set, u, v);
+    downed.emplace_back(u, v);
+  }
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    for (int k = 0; k < 256; ++k) {
+      const int u = rng.uniform_index(n);
+      const int v = (u + 1 + rng.uniform_index(16)) % n;
+      hits += contains(set, u, v) ? 1u : 0u;
+    }
+    // Churn one link per probe burst, as a fault storm would.
+    const auto& flip = downed[static_cast<std::size_t>(rng.uniform_index(
+        static_cast<int>(downed.size())))];
+    erase(set, flip.first, flip.second);
+    insert(set, flip.first, flip.second);
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+
+void BM_DownLinksStdSet(benchmark::State& state) {
+  std::set<std::pair<int, int>> set;
+  auto norm = [](int u, int v) { return std::make_pair(std::min(u, v), std::max(u, v)); };
+  down_links_mix(
+      state, set,
+      [&](const auto& s, int u, int v) { return s.count(norm(u, v)) != 0; },
+      [&](auto& s, int u, int v) { s.insert(norm(u, v)); },
+      [&](auto& s, int u, int v) { s.erase(norm(u, v)); });
+}
+BENCHMARK(BM_DownLinksStdSet);
+
+void BM_DownLinksLinkSet(benchmark::State& state) {
+  sim::LinkSet set;
+  down_links_mix(
+      state, set,
+      [](const auto& s, int u, int v) { return s.contains(sim::LinkSet::key(u, v)); },
+      [](auto& s, int u, int v) { s.insert(sim::LinkSet::key(u, v)); },
+      [](auto& s, int u, int v) { s.erase(sim::LinkSet::key(u, v)); });
+}
+BENCHMARK(BM_DownLinksLinkSet);
 
 void BM_JacobiSvd(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -40,6 +40,11 @@ if [[ "$RELEASE" == 1 ]]; then
   echo "== tier-1 (Release build) =="
   configure_and_build build-rel -DCMAKE_BUILD_TYPE=Release
   ctest --test-dir build-rel -LE chaos --output-on-failure -j "$JOBS"
+  echo "== engine-sweep smoke (serial vs sharded, Release) =="
+  # Drives the full VPoD protocol through the sharded engine and asserts
+  # message-count equality against the serial oracle (the GDVR_ASSERTs in
+  # the sweep); the wall-clock columns surface gross engine regressions.
+  ./build-rel/bench/fig15_16_scalability --engine-sweep --smoke
   echo "== benchmark compare vs BENCH_core.json (Release) =="
   # Full suite at the snapshot's min_time; fails on >GDVR_BENCH_TOLERANCE
   # cpu_time regressions against the committed baseline.
@@ -73,10 +78,11 @@ for san in address undefined; do
 done
 
 # The concurrency the fast suite exercises lives in the eval layer's
-# parallel audits; drive the long-running labels (which audit continuously
-# under churn) through TSan to catch data races the single-label runs miss.
-echo "== chaos + soak under thread sanitizer (build-tsan) =="
+# parallel audits and the sharded simulator engine; drive the long-running
+# labels (which audit continuously under churn) plus the sharded-engine
+# group through TSan to catch data races the single-label runs miss.
+echo "== chaos + soak + sharded engine under thread sanitizer (build-tsan) =="
 configure_and_build build-tsan -DGDVR_SANITIZE=thread
-ctest --test-dir build-tsan -L 'chaos|soak' --output-on-failure
+ctest --test-dir build-tsan -L 'chaos|soak|parallel' --output-on-failure
 
 echo "all checks passed"

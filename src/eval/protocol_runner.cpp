@@ -6,6 +6,11 @@ VpodRunner::VpodRunner(const radio::Topology& topo, radio::Metric metric_kind,
                        const vpod::VpodConfig& config, DelayRange delays, std::uint64_t net_seed,
                        const std::vector<int>& initially_dead)
     : topo_(topo), metric_(metric_kind) {
+  // Engine seam: GDVR_SIM_ENGINE=sharded runs this simulation on the
+  // conservative-parallel engine, partitioned by the spatial bucket grid.
+  // Must precede start(): node-owned timers route through shard lanes.
+  if (sim::engine_from_env() == sim::SimEngine::kSharded)
+    sim_.configure_sharding(radio::spatial_shards(topo));
   const graph::Graph& metric = topo.metric_graph(metric_kind);
   net_ = std::make_unique<mdt::Net>(sim_, metric, delays.min_s, delays.max_s, net_seed);
   for (int u : initially_dead) net_->set_alive(u, false);
@@ -142,6 +147,8 @@ VivaldiRunner::VivaldiRunner(const radio::Topology& topo, bool use_etx,
                              const vivaldi::VivaldiConfig& config, DelayRange delays,
                              std::uint64_t net_seed)
     : topo_(topo) {
+  if (sim::engine_from_env() == sim::SimEngine::kSharded)
+    sim_.configure_sharding(radio::spatial_shards(topo));
   const graph::Graph& metric = topo.metric_graph(use_etx);
   net_ = std::make_unique<sim::NetSim<vivaldi::VivMsg>>(sim_, metric, delays.min_s, delays.max_s,
                                                         net_seed);

@@ -31,8 +31,15 @@ std::uint64_t mix64(std::uint64_t x) {
 MdtOverlay::MdtOverlay(Net& net, const MdtConfig& config)
     : net_(net),
       config_(config),
-      states_(static_cast<std::size_t>(net.size())),
-      rng_(0x4D445400ull) {}  // "MDT" seed for protocol-internal jitter
+      sync_stats_(static_cast<std::size_t>(net.size())),
+      recompute_stats_(static_cast<std::size_t>(net.size())),
+      fd_stats_(static_cast<std::size_t>(net.size())),
+      states_(static_cast<std::size_t>(net.size())) {
+  Rng base(0x4D445400ull);  // "MDT" seed for protocol-internal jitter
+  rng_.reserve(static_cast<std::size_t>(net.size()));
+  for (NodeId u = 0; u < net.size(); ++u)
+    rng_.push_back(base.split(static_cast<std::uint64_t>(u)));
+}
 
 void MdtOverlay::attach() {
   net_.set_receiver([this](NodeId to, NodeId from, Envelope msg) { handle(to, from, std::move(msg)); });
@@ -85,8 +92,8 @@ void MdtOverlay::start_join(NodeId u) {
     send_ctrl(u, seed, std::move(m));
   }
   // Retry until joined (replies may be lost to dead ends during construction).
-  const double delay = 2.0 + rng_.uniform(0.0, 1.0);
-  net_.simulator().schedule_in(delay, [this, u] { start_join(u); });
+  const double delay = 2.0 + rng_at(u).uniform(0.0, 1.0);
+  net_.simulator().schedule_in_node(u, delay, [this, u] { start_join(u); });
 }
 
 void MdtOverlay::deactivate(NodeId u) {
@@ -193,7 +200,7 @@ void MdtOverlay::run_maintenance_round(NodeId u) {
   if (changed && config_.resync_after_change_s > 0.0 && !s.resync_scheduled) {
     s.resync_scheduled = true;
     const std::uint32_t inc = net_.incarnation(u);
-    net_.simulator().schedule_in(config_.resync_after_change_s, [this, u, inc] {
+    net_.simulator().schedule_in_node(u, config_.resync_after_change_s, [this, u, inc] {
       // The state this timer belongs to is gone if u died (and possibly
       // rejoined as a new incarnation) in the meantime.
       if (!net_.alive(u) || net_.incarnation(u) != inc) return;
@@ -234,7 +241,7 @@ bool MdtOverlay::stale_origin(NodeId u, const NodeInfo& info) {
   auto pit = s.phys.find(info.id);
   if (pit != s.phys.end()) recorded = std::max(recorded, pit->second.incarnation);
   if (info.incarnation < recorded) {
-    ++fd_stats_.stale_incarnation_dropped;
+    ++fd_at(u).stale_incarnation_dropped;
     return true;
   }
   return false;
@@ -265,7 +272,7 @@ void MdtOverlay::schedule_fd_tick(NodeId u) {
                                 static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)));
   const double frac = static_cast<double>(h >> 11) * 0x1.0p-53;
   const double delay = config_.fd.heartbeat_period_s + config_.fd.heartbeat_jitter_s * frac;
-  net_.simulator().schedule_in(delay, [this, u, inc] {
+  net_.simulator().schedule_in_node(u, delay, [this, u, inc] {
     // The tick chain belongs to one life of u: it dies with the incarnation
     // (reactivation schedules a fresh chain).
     if (!net_.alive(u) || net_.incarnation(u) != inc) return;
@@ -304,7 +311,7 @@ void MdtOverlay::send_heartbeats(NodeId u) {
     m.route = it->second.path;
     m.route_idx = 0;
     const NodeId next = m.route[1];  // read before the envelope is moved from
-    if (net_.send(u, next, std::move(m))) ++fd_stats_.heartbeats_sent;
+    if (net_.send(u, next, std::move(m))) ++fd_at(u).heartbeats_sent;
   }
 }
 
@@ -313,12 +320,12 @@ void MdtOverlay::evict_neighbor(NodeId u, NodeId y) {
   auto it = s.cand.find(y);
   if (it != s.cand.end()) {
     s.tombstones[y] = {it->second.incarnation, net_.simulator().now()};
-    ++fd_stats_.tombstones_created;
+    ++fd_at(u).tombstones_created;
     s.cand.erase(it);
   }
   s.pending.erase(y);
   s.fd.erase(y);
-  ++fd_stats_.evictions;
+  ++fd_at(u).evictions;
   schedule_recompute(u);
 }
 
@@ -447,7 +454,7 @@ void MdtOverlay::on_hello(NodeId u, const Envelope& msg) {
   // A neighbor announcing it joined unblocks our own join immediately (the
   // join wave then travels at message speed instead of retry-timer speed).
   if (msg.origin_info.joined && s.active && !s.joined)
-    net_.simulator().schedule_in(0.05, [this, u] { start_join(u); });
+    net_.simulator().schedule_in_node(u, 0.05, [this, u] { start_join(u); });
 }
 
 void MdtOverlay::on_join_request(NodeId u, Envelope msg) {
@@ -739,7 +746,7 @@ void MdtOverlay::merge_candidate_info(NodeId u, const NodeInfo& info, NodeId via
   auto tomb = s.tombstones.find(info.id);
   if (tomb != s.tombstones.end()) {
     if (info.incarnation <= tomb->second.incarnation) {
-      ++fd_stats_.gossip_suppressed;
+      ++fd_at(u).gossip_suppressed;
       return;
     }
     s.tombstones.erase(tomb);
@@ -869,12 +876,12 @@ void MdtOverlay::resend_nbr_request(NodeId u, NodeId y) {
     sent = forward_request(u, std::move(g));
   }
 
-  ++sync_stats_.requests;
+  ++sync_at(u).requests;
   PendingSync& p = s.pending[y];
   ++p.attempts;
   const int attempts = p.attempts;
-  p.timer = net_.simulator().schedule_in(
-      config_.sync_timeout_s + rng_.uniform(0.0, 0.3), [this, u, y, attempts] {
+  p.timer = net_.simulator().schedule_in_node(
+      u, config_.sync_timeout_s + rng_at(u).uniform(0.0, 0.3), [this, u, y, attempts] {
         NodeState& su = st(u);
         auto it = su.pending.find(y);
         if (it == su.pending.end() || it->second.attempts != attempts) return;
@@ -900,7 +907,7 @@ void MdtOverlay::resend_nbr_request(NodeId u, NodeId y) {
         // neighbors slow to sync, and a genuinely dead one is reaped by the
         // neighbor_stale_s soft-state timer anyway.
         su.pending.erase(it);
-        ++sync_stats_.failures;
+        ++sync_at(u).failures;
       });
   (void)sent;  // even a failed send arms the retry timer above
 }
@@ -929,7 +936,7 @@ void MdtOverlay::schedule_recompute(NodeId u) {
   NodeState& s = st(u);
   if (s.recompute_scheduled) return;
   s.recompute_scheduled = true;
-  net_.simulator().schedule_in(config_.recompute_delay_s, [this, u] { recompute(u); });
+  net_.simulator().schedule_in_node(u, config_.recompute_delay_s, [this, u] { recompute(u); });
 }
 
 void MdtOverlay::recompute(NodeId u) {
@@ -938,7 +945,7 @@ void MdtOverlay::recompute(NodeId u) {
   s.recompute_scheduled = false;
   if (!s.active || !net_.alive(u)) return;
   refresh_phys(u);
-  ++recompute_stats_.calls;
+  ++rec_at(u).calls;
 
   // Memoization: the local DT depends only on the positions of {u} + P_u +
   // C_u, and every advertised position travels with its owner's monotonic
@@ -965,7 +972,7 @@ void MdtOverlay::recompute(NodeId u) {
     s.dt_nbrs = cached->nbrs;
     cached->stamp = ++s.dt_cache_clock;
   } else {
-    ++recompute_stats_.rebuilds;
+    ++rec_at(u).rebuilds;
 
     // Local DT of {u} + P_u + C_u; N_u = u's neighbors in it.
     std::vector<NodeId> ids;
@@ -1051,14 +1058,14 @@ void MdtOverlay::refresh_phys(NodeId u) {
 
 void MdtOverlay::send_hello(NodeId u) {
   if (!net_.alive(u)) return;
-  for (const graph::Edge& e : net_.alive_neighbors(u)) {
+  net_.for_each_alive_neighbor(u, [&](const graph::Edge& e) {
     Envelope m;
     m.kind = Kind::kHello;
     m.origin = u;
     m.target = e.to;
     m.origin_info = info_of(u);
     net_.send(u, e.to, std::move(m));
-  }
+  });
 }
 
 // --------------------------------------------------------------------------

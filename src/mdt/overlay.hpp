@@ -160,11 +160,22 @@ class MdtOverlay {
 
   // Health counters for the neighbor-set sync machinery (bench/ablation_faults
   // reads these to quantify what the reliable control transport buys).
+  // All health counters (and the protocol-jitter RNG) are kept per node and
+  // aggregated on read, so concurrent lanes of the sharded engine never
+  // share a counter and jitter draws are a function of each node's own
+  // event sequence (DESIGN.md §4g).
   struct SyncStats {
     std::uint64_t requests = 0;  // neighbor-set requests sent, incl. retries
     std::uint64_t failures = 0;  // sync rounds abandoned after max_sync_retries
   };
-  const SyncStats& sync_stats() const { return sync_stats_; }
+  SyncStats sync_stats() const {
+    SyncStats total;
+    for (const SyncStats& s : sync_stats_) {
+      total.requests += s.requests;
+      total.failures += s.failures;
+    }
+    return total;
+  }
 
   // Local-DT memoization counters: `calls` counts recompute() invocations on
   // live nodes, `rebuilds` the subset that actually re-triangulated because
@@ -175,7 +186,14 @@ class MdtOverlay {
     std::uint64_t calls = 0;
     std::uint64_t rebuilds = 0;
   };
-  const RecomputeStats& recompute_stats() const { return recompute_stats_; }
+  RecomputeStats recompute_stats() const {
+    RecomputeStats total;
+    for (const RecomputeStats& s : recompute_stats_) {
+      total.calls += s.calls;
+      total.rebuilds += s.rebuilds;
+    }
+    return total;
+  }
 
   // Failure-detector / incarnation-reconciliation counters.
   struct FdStats {
@@ -185,7 +203,17 @@ class MdtOverlay {
     std::uint64_t gossip_suppressed = 0;    // tombstoned gossip ignored
     std::uint64_t stale_incarnation_dropped = 0;  // messages from a past life
   };
-  const FdStats& fd_stats() const { return fd_stats_; }
+  FdStats fd_stats() const {
+    FdStats total;
+    for (const FdStats& s : fd_stats_) {
+      total.heartbeats_sent += s.heartbeats_sent;
+      total.evictions += s.evictions;
+      total.tombstones_created += s.tombstones_created;
+      total.gossip_suppressed += s.gossip_suppressed;
+      total.stale_incarnation_dropped += s.stale_incarnation_dropped;
+    }
+    return total;
+  }
   // Current suspicion level u holds about multi-hop DT neighbor v (0 when no
   // detector exists, e.g. physical neighbors). Test/diagnostic hook.
   double suspicion(NodeId u, NodeId v) const;
@@ -342,14 +370,21 @@ class MdtOverlay {
   void refresh_phys(NodeId u);
   void send_hello(NodeId u);
 
+  // Per-node accessors for the counters/RNG above; every call site passes
+  // the node whose event is executing, so writes stay lane-local.
+  SyncStats& sync_at(NodeId u) { return sync_stats_[static_cast<std::size_t>(u)]; }
+  RecomputeStats& rec_at(NodeId u) { return recompute_stats_[static_cast<std::size_t>(u)]; }
+  FdStats& fd_at(NodeId u) { return fd_stats_[static_cast<std::size_t>(u)]; }
+  Rng& rng_at(NodeId u) { return rng_[static_cast<std::size_t>(u)]; }
+
   Net& net_;
   MdtConfig config_;
   ReliableNet* reliable_ = nullptr;
-  SyncStats sync_stats_;
-  RecomputeStats recompute_stats_;
-  FdStats fd_stats_;
+  std::vector<SyncStats> sync_stats_;
+  std::vector<RecomputeStats> recompute_stats_;
+  std::vector<FdStats> fd_stats_;
   std::vector<NodeState> states_;
-  Rng rng_;
+  std::vector<Rng> rng_;
   std::vector<NodeId> empty_path_;
 };
 

@@ -98,6 +98,18 @@ std::string TraceSink::digest_hex() const {
   return buf;
 }
 
+void TraceSink::absorb(TraceSink& other) {
+  GDVR_ASSERT(other.open_packet_ < 0);
+  const int offset = static_cast<int>(packets_.size());
+  packets_.insert(packets_.end(), other.packets_.begin(), other.packets_.end());
+  events_.reserve(events_.size() + other.events_.size());
+  for (HopEvent e : other.events_) {
+    if (e.packet >= 0) e.packet += offset;
+    events_.push_back(e);
+  }
+  other.clear();
+}
+
 void TraceSink::clear() {
   events_.clear();
   packets_.clear();

@@ -89,6 +89,14 @@ class TraceSink {
   // digest() as fixed-width lowercase hex, for pinning in golden tests.
   std::string digest_hex() const;
 
+  // Appends every packet and event of `other` to this sink (packet indices
+  // are remapped past this sink's existing packets) and clears `other`. The
+  // sharded simulator gives each lane a private sink during a parallel
+  // window and absorbs them into the main sink at the barrier in lane order,
+  // so the merged trace is a pure function of the partition, never of the
+  // thread count. `other` must not have a packet open.
+  void absorb(TraceSink& other);
+
   void clear();
 
  private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/log.hpp"
@@ -658,6 +659,44 @@ Topology generate(const TopologyConfig& config) {
 }
 
 }  // namespace
+
+std::vector<int> spatial_shards(const Topology& topo, int shards) {
+  const int n = topo.size();
+  if (shards <= 0) {
+    if (const char* env = std::getenv("GDVR_SIM_SHARDS")) shards = std::atoi(env);
+    if (shards <= 0) shards = std::clamp(n / 128, 1, 64);
+  }
+  shards = std::clamp(shards, 1, std::max(n, 1));
+  std::vector<int> shard_of(static_cast<std::size_t>(n), 0);
+  if (shards == 1 || n == 0) return shard_of;
+
+  // Bounding box of the placement (positions live in [0, extent] per axis).
+  const int dim = topo.positions.front().dim();
+  Vec extent(dim);
+  for (const Vec& p : topo.positions)
+    for (int k = 0; k < dim; ++k) extent[k] = std::max(extent[k], p[k]);
+  double max_extent = 1e-9;
+  for (int k = 0; k < dim; ++k) {
+    extent[k] = std::max(extent[k], 1e-9) * 1.0001;  // keep coord() off the edge
+    max_extent = std::max(max_extent, extent[k]);
+  }
+
+  // Reuse the link-scan bucket grid with d_max chosen so the grid has at
+  // least `shards` cells (SpatialGrid targets a cell side of d_max / 2).
+  const double per_axis = std::ceil(std::pow(static_cast<double>(shards), 1.0 / dim));
+  SpatialGrid grid(topo.positions, extent, 2.0 * max_extent / per_axis);
+
+  // Pack cells into `shards` groups with balanced node counts: the i-th node
+  // in cell-major order goes to shard floor(i * shards / n).
+  int rank = 0;
+  for (const std::vector<int>& cell : grid.cells)
+    for (int u : cell) {
+      shard_of[static_cast<std::size_t>(u)] =
+          static_cast<int>(static_cast<std::int64_t>(rank) * shards / n);
+      ++rank;
+    }
+  return shard_of;
+}
 
 bool Obstacle::blocks(const Vec& a, const Vec& b) const {
   if (contains(a) || contains(b)) return true;

@@ -108,6 +108,17 @@ Topology make_random_topology(const TopologyConfig& config);
 Topology make_grid(int rows, int cols, double spacing_m = 1.0,
                    double connect_radius_factor = 1.0);
 
+// Spatial shard partition for the sharded simulator engine (DESIGN.md §4g):
+// buckets nodes on the same uniform grid the link scan uses, then packs the
+// grid cells -- visited in row-major order, so consecutive cells are spatial
+// neighbors -- into `shards` groups with balanced node counts. Physical
+// neighbors land in the same or a nearby shard with high probability, which
+// keeps cross-shard message traffic (and thus barrier pressure) low.
+// `shards == 0` picks clamp(n / 128, 1, 64), overridable via the
+// GDVR_SIM_SHARDS environment variable. Returns one shard id in [0, k) per
+// node, suitable for Simulator::configure_sharding.
+std::vector<int> spatial_shards(const Topology& topo, int shards = 0);
+
 // Binary-searches the transmit power that yields `target_avg_degree` for the
 // given config (averaged over a few seeded instances).
 double calibrate_tx_power(const TopologyConfig& config, double target_avg_degree);

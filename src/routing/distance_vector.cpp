@@ -22,7 +22,7 @@ void DistanceVector::start() {
     tables_[static_cast<std::size_t>(u)][u] = Entry{0.0, u};
     // Stagger initial advertisements, then advertise periodically.
     const double offset = rng_.uniform(0.0, config_.advertise_period_s);
-    net_.simulator().schedule_in(offset, [this, u] { advertise(u); });
+    net_.simulator().schedule_in_node(u, offset, [this, u] { advertise(u); });
   }
 }
 
@@ -32,15 +32,15 @@ void DistanceVector::advertise(NodeId u) {
   m.origin = u;
   for (const auto& [dest, entry] : tables_[static_cast<std::size_t>(u)])
     m.vector.emplace_back(dest, entry.cost);
-  for (const graph::Edge& e : net_.alive_neighbors(u)) net_.send(u, e.to, m);
+  net_.for_each_alive_neighbor(u, [&](const graph::Edge& e) { net_.send(u, e.to, m); });
   dirty_[static_cast<std::size_t>(u)] = false;
-  net_.simulator().schedule_in(config_.advertise_period_s, [this, u] { advertise(u); });
+  net_.simulator().schedule_in_node(u, config_.advertise_period_s, [this, u] { advertise(u); });
 }
 
 void DistanceVector::schedule_triggered(NodeId u) {
   if (dirty_[static_cast<std::size_t>(u)]) return;
   dirty_[static_cast<std::size_t>(u)] = true;
-  net_.simulator().schedule_in(config_.triggered_delay_s, [this, u] {
+  net_.simulator().schedule_in_node(u, config_.triggered_delay_s, [this, u] {
     if (!dirty_[static_cast<std::size_t>(u)] || !net_.alive(u)) return;
     // Triggered advertisement (does not reset the periodic timer chain; the
     // duplicate periodic send is the protocol's normal redundancy).
@@ -48,7 +48,7 @@ void DistanceVector::schedule_triggered(NodeId u) {
     m.origin = u;
     for (const auto& [dest, entry] : tables_[static_cast<std::size_t>(u)])
       m.vector.emplace_back(dest, entry.cost);
-    for (const graph::Edge& e : net_.alive_neighbors(u)) net_.send(u, e.to, m);
+    net_.for_each_alive_neighbor(u, [&](const graph::Edge& e) { net_.send(u, e.to, m); });
     dirty_[static_cast<std::size_t>(u)] = false;
   });
 }

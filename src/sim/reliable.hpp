@@ -15,13 +15,20 @@
 //
 // Message requirements: the message type must expose a `std::uint64_t
 // rel_seq` field (0 = unreliable / unsequenced). Sequence numbers are
-// assigned per transmission attempt chain and are globally unique within one
-// transport instance, so duplicate suppression needs no per-pair state.
+// namespaced by sender -- ((from + 1) << 32) | local -- so they stay
+// globally unique within one transport instance while every piece of
+// transport state is per-node: pending transfers, sequence counters and
+// timers live at the sender, duplicate-suppression windows at the receiver
+// (one per sender namespace, which also keeps each window's contiguous-
+// prefix compaction exact). Under the sharded engine (DESIGN.md §4g) no two
+// lanes ever touch the same transport state.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
+#include <vector>
 
 #include "sim/netsim.hpp"
 #include "sim/simulator.hpp"
@@ -102,7 +109,8 @@ class ReliableTransport {
       : net_(net),
         config_(config),
         backoff_(config.rto_initial_s, config.rto_backoff, config.rto_max_s),
-        dedup_(config.dedup_window),
+        senders_(static_cast<std::size_t>(net.size())),
+        receivers_(static_cast<std::size_t>(net.size())),
         make_ack_(std::move(make_ack)) {}
 
   // Sends from -> to with per-hop retransmission. The initial transmission
@@ -110,17 +118,19 @@ class ReliableTransport {
   // arms, because transient faults are exactly what the retries bridge.
   // Always returns true: delivery is now a transport-layer concern.
   bool send(int from, int to, Message msg) {
-    const std::uint64_t seq = next_seq_++;
+    SenderState& sender = senders_[static_cast<std::size_t>(from)];
+    const std::uint64_t seq =
+        (static_cast<std::uint64_t>(from) + 1) << 32 | sender.next_seq++;
     msg.rel_seq = seq;
     Pending p;
     p.from = from;
     p.to = to;
     p.from_incarnation = net_.incarnation(from);
     p.msg = std::move(msg);
-    auto [it, inserted] = pending_.emplace(seq, std::move(p));
+    auto [it, inserted] = sender.pending.emplace(seq, std::move(p));
     GDVR_ASSERT(inserted);
-    ++stats_.sent;
-    transmit(it->second, seq);
+    ++sender.stats.sent;
+    transmit(sender, it->second, seq);
     return true;
   }
 
@@ -128,24 +138,47 @@ class ReliableTransport {
   // the ACK (even for duplicates -- the original ACK may have been the loss)
   // and returns true if the message is fresh, false if it must be suppressed.
   bool on_receive(int to, int from, std::uint64_t seq) {
-    ++stats_.acks_sent;
+    ReceiverState& receiver = receivers_[static_cast<std::size_t>(to)];
+    ++receiver.stats.acks_sent;
     (void)net_.send(to, from, make_ack_(to, from, seq));
-    const bool fresh = dedup_.accept(seq);
-    if (!fresh) ++stats_.duplicates_suppressed;
+    auto it = receiver.dedup.find(seq >> 32);
+    if (it == receiver.dedup.end())
+      it = receiver.dedup.emplace(seq >> 32, DedupWindow(config_.dedup_window)).first;
+    const bool fresh = it->second.accept(seq & 0xFFFFFFFFull);
+    if (!fresh) ++receiver.stats.duplicates_suppressed;
     return fresh;
   }
 
   // Sender side: call when an ACK arrives at `at` (the original sender).
   void on_ack(int at, std::uint64_t seq) {
-    auto it = pending_.find(seq);
-    if (it == pending_.end() || it->second.from != at) return;
+    SenderState& sender = senders_[static_cast<std::size_t>(at)];
+    auto it = sender.pending.find(seq);
+    if (it == sender.pending.end() || it->second.from != at) return;
     net_.simulator().cancel(it->second.timer);
-    pending_.erase(it);
-    ++stats_.acked;
+    sender.pending.erase(it);
+    ++sender.stats.acked;
   }
 
-  const ReliableStats& stats() const { return stats_; }
-  std::size_t in_flight() const { return pending_.size(); }
+  // Aggregated over all nodes (per-node state keeps lanes independent).
+  ReliableStats stats() const {
+    ReliableStats total;
+    for (const SenderState& s : senders_) {
+      total.sent += s.stats.sent;
+      total.retransmissions += s.stats.retransmissions;
+      total.acked += s.stats.acked;
+      total.gave_up += s.stats.gave_up;
+    }
+    for (const ReceiverState& r : receivers_) {
+      total.acks_sent += r.stats.acks_sent;
+      total.duplicates_suppressed += r.stats.duplicates_suppressed;
+    }
+    return total;
+  }
+  std::size_t in_flight() const {
+    std::size_t n = 0;
+    for (const SenderState& s : senders_) n += s.pending.size();
+    return n;
+  }
   void set_give_up_handler(GiveUpHandler handler) { give_up_ = std::move(handler); }
 
  private:
@@ -156,6 +189,18 @@ class ReliableTransport {
     int attempts = 0;
     Message msg;
     Simulator::EventId timer = Simulator::kInvalidEvent;
+  };
+
+  struct SenderState {
+    std::map<std::uint64_t, Pending> pending;
+    std::uint32_t next_seq = 1;
+    ReliableStats stats;  // sent/retransmissions/acked/gave_up
+  };
+  struct ReceiverState {
+    // One window per sender namespace (seq >> 32): each sender's local
+    // sequences are contiguous, so prefix compaction stays exact.
+    std::map<std::uint64_t, DedupWindow> dedup;
+    ReliableStats stats;  // acks_sent/duplicates_suppressed
   };
 
   // Deterministic jitter factor in [1, 1 + rto_jitter) for a given
@@ -169,18 +214,21 @@ class ReliableTransport {
     return 1.0 + config_.rto_jitter * (static_cast<double>(z >> 11) * 0x1.0p-53);
   }
 
-  void transmit(Pending& p, std::uint64_t seq) {
+  void transmit(SenderState& sender, Pending& p, std::uint64_t seq) {
     ++p.attempts;
-    if (p.attempts > 1) ++stats_.retransmissions;
+    if (p.attempts > 1) ++sender.stats.retransmissions;
     (void)net_.send(p.from, p.to, Message(p.msg));  // may fail; the timer retries
-    p.timer = net_.simulator().schedule_in(
-        backoff_.delay(p.attempts) * jitter_factor(seq, p.attempts),
+    // The retransmit timer is the sender's own: it lives (and fires) on the
+    // sender's lane, and the ACK that cancels it arrives on the same lane.
+    p.timer = net_.simulator().schedule_in_node(
+        p.from, backoff_.delay(p.attempts) * jitter_factor(seq, p.attempts),
         [this, seq] { on_timeout(seq); });
   }
 
   void on_timeout(std::uint64_t seq) {
-    auto it = pending_.find(seq);
-    if (it == pending_.end()) return;
+    SenderState& sender = senders_[(seq >> 32) - 1];
+    auto it = sender.pending.find(seq);
+    if (it == sender.pending.end()) return;
     Pending& p = it->second;
     // The sender died (or died and rejoined) since the send: its protocol
     // state is gone, so the message belongs to a dead incarnation.
@@ -190,23 +238,21 @@ class ReliableTransport {
       // Detach the entry before the handler runs: the handler may re-enter
       // the transport (e.g. resend over another route).
       Pending done = std::move(it->second);
-      pending_.erase(it);
-      ++stats_.gave_up;
+      sender.pending.erase(it);
+      ++sender.stats.gave_up;
       if (!sender_gone && give_up_) give_up_(done.from, done.to, done.msg);
       return;
     }
-    transmit(p, seq);
+    transmit(sender, p, seq);
   }
 
   NetSim<Message>& net_;
   ReliableConfig config_;
   RetransmitBackoff backoff_;
-  DedupWindow dedup_;
+  std::vector<SenderState> senders_;
+  std::vector<ReceiverState> receivers_;
   AckFactory make_ack_;
   GiveUpHandler give_up_;
-  std::map<std::uint64_t, Pending> pending_;
-  std::uint64_t next_seq_ = 1;
-  ReliableStats stats_;
 };
 
 }  // namespace gdvr::sim

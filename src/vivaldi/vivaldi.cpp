@@ -11,19 +11,22 @@ TwoHopVivaldi::TwoHopVivaldi(sim::NetSim<VivMsg>& net, const VivaldiConfig& conf
       pos_(static_cast<std::size_t>(net.size())),
       err_(static_cast<std::size_t>(net.size()), 1.0),
       periods_(static_cast<std::size_t>(net.size()), 0),
-      two_hop_(static_cast<std::size_t>(net.size())),
-      rng_(config.seed) {
+      two_hop_(static_cast<std::size_t>(net.size())) {
   // Vivaldi starts everyone near the origin with a tiny random kick so the
   // spring forces have a direction to act along.
-  for (auto& p : pos_) p = rng_.point_on_sphere(Vec::zero(config_.dim), 0.01);
+  Rng base(config.seed);
+  for (auto& p : pos_) p = base.point_on_sphere(Vec::zero(config_.dim), 0.01);
+  rng_.reserve(static_cast<std::size_t>(net.size()));
+  for (NodeId u = 0; u < net.size(); ++u)
+    rng_.push_back(base.split(static_cast<std::uint64_t>(u)));
 }
 
 void TwoHopVivaldi::start() {
   net_.set_receiver([this](NodeId to, NodeId from, VivMsg m) { handle(to, from, std::move(m)); });
   for (NodeId u = 0; u < net_.size(); ++u) {
     if (!net_.alive(u)) continue;
-    const double offset = rng_.uniform(0.0, 1.0);
-    net_.simulator().schedule_in(offset, [this, u] { begin_period(u); });
+    const double offset = rng_at(u).uniform(0.0, 1.0);
+    net_.simulator().schedule_in_node(u, offset, [this, u] { begin_period(u); });
   }
 }
 
@@ -31,22 +34,22 @@ void TwoHopVivaldi::begin_period(NodeId u) {
   if (!net_.alive(u)) return;
   // Advertise the neighbor list so neighbors can refresh their 2-hop sets.
   std::vector<NodeId> ids;
-  for (const graph::Edge& e : net_.alive_neighbors(u)) ids.push_back(e.to);
-  for (const graph::Edge& e : net_.alive_neighbors(u)) {
+  net_.for_each_alive_neighbor(u, [&](const graph::Edge& e) { ids.push_back(e.to); });
+  for (NodeId to : ids) {
     VivMsg m;
     m.kind = VivMsg::Kind::kNbrList;
     m.origin = u;
-    m.target = e.to;
+    m.target = to;
     m.nbr_ids = ids;
-    net_.send(u, e.to, std::move(m));
+    net_.send(u, to, std::move(m));
   }
   // Spread the period's samples uniformly over the period.
   const int total = config_.one_hop_samples + config_.two_hop_samples;
   for (int i = 0; i < total; ++i) {
-    const double at = rng_.uniform(0.05, config_.period_s);
-    net_.simulator().schedule_in(at, [this, u] { do_sample(u); });
+    const double at = rng_at(u).uniform(0.05, config_.period_s);
+    net_.simulator().schedule_in_node(u, at, [this, u] { do_sample(u); });
   }
-  net_.simulator().schedule_in(config_.period_s, [this, u] {
+  net_.simulator().schedule_in_node(u, config_.period_s, [this, u] {
     if (!net_.alive(u)) return;
     ++periods_[static_cast<std::size_t>(u)];
     begin_period(u);
@@ -60,7 +63,7 @@ void TwoHopVivaldi::do_sample(NodeId u) {
   auto& two = two_hop_[static_cast<std::size_t>(u)];
   // 1-hop and 2-hop samples alternate 50/50 in expectation, matching the
   // paper's 100 + 100 per period.
-  const bool sample_two_hop = !two.empty() && rng_.bernoulli(
+  const bool sample_two_hop = !two.empty() && rng_at(u).bernoulli(
       static_cast<double>(config_.two_hop_samples) /
       static_cast<double>(config_.one_hop_samples + config_.two_hop_samples));
   VivMsg m;
@@ -68,11 +71,11 @@ void TwoHopVivaldi::do_sample(NodeId u) {
   m.origin = u;
   if (sample_two_hop) {
     auto it = two.begin();
-    std::advance(it, static_cast<long>(rng_.uniform_int(two.size())));
+    std::advance(it, static_cast<long>(rng_at(u).uniform_int(two.size())));
     m.target = it->first;
     m.route = {u, it->second, it->first};
   } else {
-    const auto& pick = nbrs[static_cast<std::size_t>(rng_.uniform_index(static_cast<int>(nbrs.size())))];
+    const auto& pick = nbrs[static_cast<std::size_t>(rng_at(u).uniform_index(static_cast<int>(nbrs.size())))];
     m.target = pick.to;
     m.route = {u, pick.to};
   }

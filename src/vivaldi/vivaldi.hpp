@@ -77,7 +77,10 @@ class TwoHopVivaldi {
   std::vector<int> periods_;
   // Two-hop map: target -> relay neighbor (first seen wins; refreshed each period).
   std::vector<std::map<NodeId, NodeId>> two_hop_;
-  Rng rng_;
+  // One stream per node: sampling draws happen inside per-node events, so
+  // they must not depend on the global event interleaving (DESIGN.md §4g).
+  std::vector<Rng> rng_;
+  Rng& rng_at(NodeId u) { return rng_[static_cast<std::size_t>(u)]; }
 };
 
 }  // namespace gdvr::vivaldi

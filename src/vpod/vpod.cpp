@@ -17,7 +17,12 @@ Vpod::Vpod(mdt::Net& net, const VpodConfig& config)
       }()),
       ctl_(static_cast<std::size_t>(net.size())),
       periods_(static_cast<std::size_t>(net.size()), 0),
-      rng_(config.seed) {}
+      adjustments_(static_cast<std::size_t>(net.size()), 0) {
+  Rng base(config.seed);
+  rng_.reserve(static_cast<std::size_t>(net.size()));
+  for (NodeId u = 0; u < net.size(); ++u)
+    rng_.push_back(base.split(static_cast<std::uint64_t>(u)));
+}
 
 void Vpod::start(NodeId starting_node) {
   starting_node_ = starting_node;
@@ -46,17 +51,18 @@ void Vpod::receive_token(NodeId u, const NodeInfo& sender) {
 
   // Forward the token to all physical neighbors (it carries this node's
   // freshly initialized position, doubling as a Hello).
-  for (const graph::Edge& e : net_.alive_neighbors(u)) {
+  net_.for_each_alive_neighbor(u, [&](const graph::Edge& e) {
     Envelope t;
     t.kind = Kind::kToken;
     t.origin = u;
     t.origin_info = NodeInfo{u, pos, 1.0};
     net_.send(u, e.to, std::move(t));
-  }
+  });
 
   // Enter the first J period shortly afterwards (staggered so the token
   // flood and initial Hellos settle).
-  net_.simulator().schedule_in(0.1 + rng_.uniform(0.0, 0.2), [this, u, life = life_of(u)] {
+  net_.simulator().schedule_in_node(u, 0.1 + rng_at(u).uniform(0.0, 0.2),
+                                    [this, u, life = life_of(u)] {
     if (same_life(u, life)) enter_join_period(u);
   });
 }
@@ -78,13 +84,13 @@ Vec Vpod::initial_position(NodeId u, const NodeInfo& sender) {
   if (inits.empty()) {
     // Should not happen (the token sender is always initialized); place near
     // the origin as a safe default.
-    return rng_.point_on_sphere(Vec::zero(config_.dim), 1.0);
+    return rng_at(u).point_on_sphere(Vec::zero(config_.dim), 1.0);
   }
   if (inits.size() == 1) {
     // One initialized neighbor v: a random point on the sphere centered at v
     // with radius equal to the link cost c(u, v).
     const double radius = std::max(net_.link_cost(u, inits[0].id), 1e-6);
-    return rng_.point_on_sphere(inits[0].pos, radius);
+    return rng_at(u).point_on_sphere(inits[0].pos, radius);
   }
   // Two or more: midpoint of the two farthest-apart neighbors, plus a short
   // random offset to avoid degenerate collinear placements.
@@ -101,7 +107,7 @@ Vec Vpod::initial_position(NodeId u, const NodeInfo& sender) {
     }
   const Vec mid = (inits[bi].pos + inits[bj].pos) * 0.5;
   const double offset = std::max(best, 1e-6) * config_.init_offset_rel;
-  return rng_.point_on_sphere(mid, offset);
+  return rng_at(u).point_on_sphere(mid, offset);
 }
 
 // ---------------------------------------------------------------------------
@@ -113,7 +119,7 @@ void Vpod::enter_join_period(NodeId u) {
     overlay_.start_join(u);
   else
     overlay_.run_maintenance_round(u);
-  net_.simulator().schedule_in(config_.join_period_s, [this, u, life = life_of(u)] {
+  net_.simulator().schedule_in_node(u, config_.join_period_s, [this, u, life = life_of(u)] {
     if (same_life(u, life)) enter_adjust_period(u);
   });
 }
@@ -132,14 +138,14 @@ void Vpod::adjustment_tick(NodeId u) {
   const sim::Time next = net_.simulator().now() + dt;
   if (next >= a_end) {
     // Period over: one last wait until the boundary, then back to a J period.
-    net_.simulator().schedule_at(a_end, [this, u, life = life_of(u)] {
+    net_.simulator().schedule_at_node(u, a_end, [this, u, life = life_of(u)] {
       if (!same_life(u, life) || !net_.alive(u) || !overlay_.active(u)) return;
       ++periods_[static_cast<std::size_t>(u)];
       enter_join_period(u);
     });
     return;
   }
-  net_.simulator().schedule_at(next, [this, u, life = life_of(u)] {
+  net_.simulator().schedule_at_node(u, next, [this, u, life = life_of(u)] {
     if (!same_life(u, life) || !net_.alive(u) || !overlay_.active(u)) return;
     adjust(u);
     adjustment_tick(u);
@@ -163,7 +169,7 @@ double Vpod::adjustment_timeout(NodeId u) const {
 void Vpod::adjust(NodeId u) {
   const auto views = overlay_.neighbor_views(u);
   if (views.empty()) return;
-  ++adjustments_;
+  ++adjustments_[static_cast<std::size_t>(u)];
 
   Vec x = overlay_.position(u);
   double eu = overlay_.error(u);
@@ -216,11 +222,12 @@ void Vpod::join_node(NodeId u) {
     }
   }
   Vec pos = count > 0 ? centroid / static_cast<double>(count)
-                      : rng_.point_on_sphere(Vec::zero(config_.dim), 1.0);
+                      : rng_at(u).point_on_sphere(Vec::zero(config_.dim), 1.0);
   // Small offset so multiple joiners sharing neighbors do not coincide.
-  pos = rng_.point_on_sphere(pos, 0.05 + 0.001 * static_cast<double>(u));
+  pos = rng_at(u).point_on_sphere(pos, 0.05 + 0.001 * static_cast<double>(u));
   overlay_.activate(u, pos, false);
-  net_.simulator().schedule_in(0.1 + rng_.uniform(0.0, 0.2), [this, u, life = life_of(u)] {
+  net_.simulator().schedule_in_node(u, 0.1 + rng_at(u).uniform(0.0, 0.2),
+                                    [this, u, life = life_of(u)] {
     if (same_life(u, life)) enter_join_period(u);
   });
 }

@@ -71,7 +71,11 @@ class Vpod {
   // Total Figure-6 position adjustments executed across all nodes (each one
   // pushes a kPosUpdate to every physical and DT neighbor) -- the "VPoD
   // updates" metric the observability registry exports.
-  std::uint64_t adjustments() const { return adjustments_; }
+  std::uint64_t adjustments() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t a : adjustments_) total += a;
+    return total;
+  }
 
   // --- churn (Sec. IV-H) ---------------------------------------------------
   // Node fails silently.
@@ -117,8 +121,12 @@ class Vpod {
   mdt::MdtOverlay overlay_;
   std::vector<NodeCtl> ctl_;
   std::vector<int> periods_;
-  std::uint64_t adjustments_ = 0;
-  Rng rng_;
+  // Per node, aggregated by adjustments(): adjust(u) runs inside u's events,
+  // so under the sharded engine no two lanes may share the counter.
+  std::vector<std::uint64_t> adjustments_;
+  // One stream per node for placement/stagger draws (DESIGN.md §4g).
+  std::vector<Rng> rng_;
+  Rng& rng_at(NodeId u) { return rng_[static_cast<std::size_t>(u)]; }
   NodeId starting_node_ = -1;
 };
 

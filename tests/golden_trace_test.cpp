@@ -131,34 +131,90 @@ TEST(GoldenTrace, GdvObstacleFallback) {
   expect_digest(sink, "615136cd0d1fc680");
 }
 
-// Control-plane golden trace: every NetSim transmission of a Distance Vector
-// convergence run, with simulation timestamps, plus the table-driven routes
-// afterwards. Pins the full protocol schedule, not just routing decisions.
-TEST(GoldenTrace, DistanceVectorControlSchedule) {
+// Control-plane scenario shared by the serial golden test and the sharded
+// engine-equivalence tests below: a full Distance Vector convergence run,
+// traced with simulation timestamps, plus table-driven routes afterwards.
+struct DvControlRun {
+  std::string digest;
+  int control = 0;
+  std::size_t packets = 0;
+  bool converged = false;
+  std::uint64_t sent = 0;
+  std::uint64_t lost = 0;
+};
+
+DvControlRun run_dv_control(bool sharded, int threads) {
   const radio::Topology topo = golden_topo(30, 5);
   sim::Simulator sim;
+  if (sharded) sim.configure_sharding(radio::spatial_shards(topo, /*shards=*/4), threads);
   sim::NetSim<DvMsg> net(sim, topo.etx, 0.01, 0.1, /*seed=*/99);
   DistanceVector dv(net);
   obs::TraceSink sink;
   sink.set_trace_control(true);
+  DvControlRun r;
   {
     obs::ScopedTrace scope(sink);
     dv.start();
     sim.run_until(30.0);
-    EXPECT_TRUE(dv.converged());
+    r.converged = dv.converged();
     const int ok =
         route_pairs(topo.size(), 10, 17, [&](int s, int t) { return dv.route(s, t); });
     EXPECT_EQ(ok, 10);
   }
-  const int control = count_mode(sink, obs::HopMode::kControl);
-  EXPECT_GT(control, 100) << "DV advertisement schedule shrank unexpectedly";
-  EXPECT_EQ(sink.packets().size(), 10u);
+  r.digest = sink.digest_hex();
+  r.control = count_mode(sink, obs::HopMode::kControl);
+  r.packets = sink.packets().size();
+  r.sent = net.total_messages_sent();
+  r.lost = net.messages_lost();
   // Control events carry simulation time.
   double last_time = 0.0;
   for (const obs::HopEvent& e : sink.events())
     if (e.mode == obs::HopMode::kControl) last_time = e.time;
   EXPECT_GT(last_time, 0.0);
-  expect_digest(sink, "be7bdac8b0886198");
+  return r;
+}
+
+// Control-plane golden trace: every NetSim transmission of a Distance Vector
+// convergence run, with simulation timestamps, plus the table-driven routes
+// afterwards. Pins the full protocol schedule, not just routing decisions.
+TEST(GoldenTrace, DistanceVectorControlSchedule) {
+  const DvControlRun r = run_dv_control(/*sharded=*/false, /*threads=*/1);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.control, 100) << "DV advertisement schedule shrank unexpectedly";
+  EXPECT_EQ(r.packets, 10u);
+  EXPECT_EQ(r.digest, "a9b03425e4653eab")
+      << "golden trace changed; if the behavior change is intended, pin the "
+      << "new digest printed above";
+}
+
+// Determinism contract of the sharded engine (DESIGN.md §4g): the same
+// scenario on the conservative-parallel engine produces a bit-identical
+// trace digest whether the shards run on 1 worker or 4 -- and a pinned
+// digest of its own, so the window/lane trace ordering is itself frozen.
+// Against the serial oracle the *ordering* of trace events differs (lanes
+// are absorbed in lane order at window barriers, the serial engine
+// interleaves in global time order), but every per-node observable must
+// match exactly: convergence, packet count, control-event count, and the
+// NetSim send/loss counters.
+TEST(GoldenTrace, ShardedEngineThreadCountInvariant) {
+  const DvControlRun serial = run_dv_control(/*sharded=*/false, /*threads=*/1);
+  const DvControlRun one = run_dv_control(/*sharded=*/true, /*threads=*/1);
+  const DvControlRun four = run_dv_control(/*sharded=*/true, /*threads=*/4);
+
+  EXPECT_EQ(one.digest, four.digest) << "sharded trace depends on thread count";
+  EXPECT_EQ(one.digest, "73308a11a5ec6c8d")
+      << "sharded golden trace changed; if the behavior change is intended, "
+      << "pin the new digest printed above";
+
+  EXPECT_TRUE(serial.converged);
+  EXPECT_TRUE(one.converged);
+  EXPECT_TRUE(four.converged);
+  EXPECT_EQ(serial.packets, one.packets);
+  EXPECT_EQ(serial.control, one.control);
+  EXPECT_EQ(serial.sent, one.sent);
+  EXPECT_EQ(serial.lost, one.lost);
+  EXPECT_EQ(one.sent, four.sent);
+  EXPECT_EQ(one.lost, four.lost);
 }
 
 // ---------- thread-count invariance ----------

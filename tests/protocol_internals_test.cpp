@@ -37,7 +37,10 @@ struct Line {
     for (int u = 1; u < net->size(); ++u) {
       sim.schedule_at(0.1 * u, [this, u] { overlay->start_join(u); });
     }
-    sim.run_until(10.0 + net->size());
+    // Sequential joins retry at ~2-3 s granularity when the predecessor has
+    // not announced yet, so the tail node needs a couple of retry windows of
+    // slack per hop on top of the 10 s base.
+    sim.run_until(10.0 + 3.0 * net->size());
   }
 };
 
