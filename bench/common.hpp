@@ -67,7 +67,12 @@ inline void export_runner_metrics(const eval::VpodRunner& runner) {
   if (path == nullptr || path[0] == '\0') return;
   static int call = 0;
   std::string target = path;
-  if (call > 0) target += "." + std::to_string(call);
+  // Appended piecewise: `"." + std::to_string(call)` trips GCC 12's
+  // -Wrestrict false positive (PR105329) under -O2 with -Werror.
+  if (call > 0) {
+    target += '.';
+    target += std::to_string(call);
+  }
   ++call;
   obs::Registry reg;
   runner.export_metrics(reg);

@@ -16,7 +16,9 @@
 #include "common.hpp"
 #include "common/rng.hpp"
 #include "geom/delaunay.hpp"
+#include "geom/dynamic_delaunay.hpp"
 #include "geom/predicates.hpp"
+#include "routing/distance_vector.hpp"
 #include "graph/csr.hpp"
 #include "graph/graph.hpp"
 #include "radio/topology.hpp"
@@ -90,6 +92,110 @@ BENCHMARK(BM_DelaunayLocate)
     ->Args({200, 3, 1})
     ->Args({200, 3, 0});
 
+// Incremental Bowyer-Watson maintenance: the per-operation cost the overlay
+// pays on a memo miss, to compare against BM_DelaunayGraph's
+// recompute-from-scratch at the same n/dim. Batches of 64 operations with
+// the restoring half of each cycle excluded via PauseTiming.
+geom::DynamicDelaunay incremental_fixture(int n, int dim) {
+  geom::DynamicDelaunay dyn(dim);
+  const auto pts = random_points(n, dim, 42);
+  std::vector<std::pair<geom::DynamicDelaunay::Key, Vec>> init;
+  for (int i = 0; i < n; ++i) init.emplace_back(i, pts[static_cast<std::size_t>(i)]);
+  dyn.assign(init);
+  return dyn;
+}
+
+void BM_IncrementalDelaunayInsert(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int dim = static_cast<int>(state.range(1));
+  geom::DynamicDelaunay dyn = incremental_fixture(n, dim);
+  const auto fresh = random_points(64, dim, 77);
+  for (auto _ : state) {
+    for (int k = 0; k < 64; ++k)
+      dyn.insert(100000 + k, fresh[static_cast<std::size_t>(k)]);
+    state.PauseTiming();
+    for (int k = 0; k < 64; ++k) dyn.remove(100000 + k);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.counters["full_rebuilds"] = static_cast<double>(dyn.stats().full_rebuilds);
+  state.SetLabel("n=" + std::to_string(n) + " dim=" + std::to_string(dim));
+}
+BENCHMARK(BM_IncrementalDelaunayInsert)->Args({100, 2})->Args({100, 3})->Args({200, 3});
+
+void BM_IncrementalDelaunayDelete(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int dim = static_cast<int>(state.range(1));
+  geom::DynamicDelaunay dyn = incremental_fixture(n, dim);
+  const auto pts = random_points(n, dim, 42);
+  for (auto _ : state) {
+    for (int k = 0; k < 64; ++k) dyn.remove(k);
+    state.PauseTiming();
+    for (int k = 0; k < 64; ++k) dyn.insert(k, pts[static_cast<std::size_t>(k)]);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.counters["full_rebuilds"] = static_cast<double>(dyn.stats().full_rebuilds);
+  state.SetLabel("n=" + std::to_string(n) + " dim=" + std::to_string(dim));
+}
+BENCHMARK(BM_IncrementalDelaunayDelete)->Args({100, 2})->Args({100, 3})->Args({200, 3});
+
+void BM_IncrementalDelaunayMove(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int dim = static_cast<int>(state.range(1));
+  geom::DynamicDelaunay dyn = incremental_fixture(n, dim);
+  const auto pts = random_points(n, dim, 42);
+  // VPoD-adjustment-sized nudges, alternating out and back so positions stay
+  // bounded over any number of iterations (the return trip is also a move).
+  int key = 0;
+  bool out = true;
+  for (auto _ : state) {
+    for (int k = 0; k < 64; ++k) {
+      Vec p = pts[static_cast<std::size_t>(key)];
+      if (out) p[0] += 0.2;
+      dyn.move(key, p);
+      key = (key + 1) % n;
+      if (key == 0) out = !out;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  const auto s = dyn.stats();
+  state.counters["early_out_rate"] =
+      s.moves > 0 ? static_cast<double>(s.move_early_outs) / static_cast<double>(s.moves) : 0.0;
+  state.counters["full_rebuilds"] = static_cast<double>(s.full_rebuilds);
+  state.SetLabel("n=" + std::to_string(n) + " dim=" + std::to_string(dim));
+}
+BENCHMARK(BM_IncrementalDelaunayMove)->Args({100, 2})->Args({100, 3})->Args({200, 3});
+
+// Distance Vector convergence with delta vs full-table triggered updates:
+// same topology, same schedule, the counter records the (dest, cost) entries
+// shipped -- the Theta(N)-per-trigger vs O(changed) trade.
+void BM_DeltaDvRound(benchmark::State& state) {
+  const bool delta = state.range(0) != 0;
+  static const radio::Topology topo = [] {
+    radio::TopologyConfig tc;
+    tc.n = 60;
+    tc.seed = 11;
+    tc.target_avg_degree = 14.5;
+    return radio::make_random_topology(tc);
+  }();
+  routing::DvConfig cfg;
+  cfg.delta_updates = delta;
+  std::uint64_t entries = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::NetSim<routing::DvMsg> net(sim, topo.etx, 0.001, 0.01, 7);
+    routing::DistanceVector dv(net, cfg);
+    dv.start();
+    sim.run_until(20.0);
+    const auto s = dv.dv_stats();
+    entries = s.entries_full + s.entries_delta;
+  }
+  state.counters["entries_shipped"] = static_cast<double>(entries);
+  state.SetLabel(delta ? "delta" : "full");
+}
+BENCHMARK(BM_DeltaDvRound)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 // One full maintenance round (adjustment period) of a converged 120-node
 // VPoD/MDT network: position sampling, neighbor-set sync, and every
 // MdtOverlay::recompute the round triggers. The recompute memo cache is
@@ -101,23 +207,43 @@ BENCHMARK(BM_DelaunayLocate)
 // is load-bearing for correctness. The frozen-position steady state is
 // pinned separately by protocol_internals_test
 // (RecomputeSteadyStateOnRandomTopology).
+// Arg 0: incremental local-DT maintenance (the default). Arg 1: the
+// kFullRebuild oracle path -- re-triangulate from scratch on every memo miss
+// -- measured from the same build so the incremental speedup is always an
+// apples-to-apples pair in one suite run.
 void BM_MdtMaintenanceRound(benchmark::State& state) {
-  static eval::VpodRunner* runner = [] {
+  const std::size_t mode = state.range(0) != 0 ? 1 : 0;
+  static eval::VpodRunner* runners[2] = {nullptr, nullptr};
+  static int ks[2] = {10, 10};
+  if (runners[mode] == nullptr) {
     static radio::Topology topo = bench::paper_topology(120, 4242);
-    auto* r = new eval::VpodRunner(topo, /*use_etx=*/true, bench::paper_vpod(3));
-    r->run_to_period(10);  // converge before measuring
-    return r;
-  }();
-  static int k = 10;
+    auto vc = bench::paper_vpod(3);
+    if (mode == 1) vc.mdt.dt_maintenance = mdt::MdtConfig::DtMaintenance::kFullRebuild;
+    runners[mode] = new eval::VpodRunner(topo, /*use_etx=*/true, vc);
+    runners[mode]->run_to_period(10);  // converge before measuring
+  }
+  eval::VpodRunner* runner = runners[mode];
+  int& k = ks[mode];
   const auto before = runner->protocol().overlay().recompute_stats();
+  const auto dtb = runner->protocol().overlay().dt_stats();
   for (auto _ : state) runner->run_to_period(++k);
   const auto after = runner->protocol().overlay().recompute_stats();
+  const auto dta = runner->protocol().overlay().dt_stats();
   const double calls = static_cast<double>(after.calls - before.calls);
+  const double iters = static_cast<double>(state.iterations());
   if (calls > 0)
     state.counters["recompute_hit_rate"] =
         1.0 - static_cast<double>(after.rebuilds - before.rebuilds) / calls;
+  // Per-iteration incremental-maintenance op mix: what a memo miss costs.
+  state.counters["dt_inserts"] = static_cast<double>(dta.inserts - dtb.inserts) / iters;
+  state.counters["dt_removes"] = static_cast<double>(dta.removes - dtb.removes) / iters;
+  state.counters["dt_moves"] = static_cast<double>(dta.moves - dtb.moves) / iters;
+  state.counters["dt_early_outs"] =
+      static_cast<double>(dta.move_early_outs - dtb.move_early_outs) / iters;
+  state.counters["dt_rebuilds"] =
+      static_cast<double>(dta.full_rebuilds - dtb.full_rebuilds) / iters;
 }
-BENCHMARK(BM_MdtMaintenanceRound)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MdtMaintenanceRound)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_InSpherePredicate(benchmark::State& state) {
   const int dim = static_cast<int>(state.range(0));

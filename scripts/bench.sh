@@ -11,6 +11,13 @@
 #                                    # nonzero if any benchmark regressed by
 #                                    # more than GDVR_BENCH_TOLERANCE (default
 #                                    # 0.25 = 25%). No JSON rewrite.
+#
+# Snapshot and compare runs both use --benchmark_repetitions=3 and score each
+# benchmark by its best (minimum) cpu_time across repetitions. On a shared or
+# single-core host, scheduler noise only ever adds time, so min-of-3 is a far
+# more stable estimator than a single sample: one-shot runs here drift up to
+# ~1.3x run-to-run, which made a 25% gate flag a rotating set of untouched
+# benchmarks. Best-of-3 vs best-of-3 keeps the gate meaningful.
 #   scripts/bench.sh --profile       # GDVR_PROFILE=1 run: appends the scoped
 #                                    # timer report (Delaunay build, overlay
 #                                    # recompute, dijkstra) to stderr;
@@ -68,14 +75,28 @@ if [[ "$COMPARE" == 1 ]]; then
   TMP_JSON="$(mktemp /tmp/bench_compare_XXXX.json)"
   trap 'rm -f "$TMP_JSON"' EXIT
   ./build-rel/bench/micro_core --benchmark_min_time=0.05 \
+      --benchmark_repetitions=3 \
       --benchmark_out="$TMP_JSON" --benchmark_out_format=json
   warn_debug_lib "$TMP_JSON"
   python3 - BENCH_core.json "$TMP_JSON" "${GDVR_BENCH_TOLERANCE:-0.25}" <<'EOF'
 import json, sys
 
 base_path, cand_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
-load = lambda p: {b["name"]: b for b in json.load(open(p))["benchmarks"]
-                  if b.get("run_type", "iteration") == "iteration"}
+
+def load(p):
+    # Score each benchmark by its best (min) cpu_time across repetitions:
+    # on an otherwise-idle host, noise only inflates timings, so the minimum
+    # is the most stable per-run estimator. Single-sample snapshots (older
+    # baselines) degenerate to their one entry.
+    out = {}
+    for b in json.load(open(p))["benchmarks"]:
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        prev = out.get(b["name"])
+        if prev is None or b["cpu_time"] < prev["cpu_time"]:
+            out[b["name"]] = b
+    return out
+
 base, cand = load(base_path), load(cand_path)
 
 regressed = []
@@ -116,7 +137,8 @@ SNAPSHOT=0
 if [[ "$QUICK" == 1 ]]; then
   ARGS=(--benchmark_min_time=0.01)
 elif [[ -z "$FILTER" && "$PROFILE" == 0 ]]; then
-  ARGS+=(--benchmark_out=BENCH_core.json --benchmark_out_format=json)
+  ARGS+=(--benchmark_repetitions=3
+         --benchmark_out=BENCH_core.json --benchmark_out_format=json)
   SNAPSHOT=1
 fi
 [[ -n "$FILTER" ]] && ARGS+=(--benchmark_filter="$FILTER")

@@ -110,6 +110,15 @@ void VpodRunner::export_metrics(obs::Registry& reg) const {
   reg.counter("mdt.fd.gossip_suppressed").set(fd.gossip_suppressed);
   reg.counter("mdt.fd.stale_incarnation_dropped").set(fd.stale_incarnation_dropped);
 
+  // Incremental local-DT maintenance: what the memo misses actually cost.
+  const geom::DynamicDtStats dt = overlay.dt_stats();
+  reg.counter("mdt.dt.inserts").set(dt.inserts);
+  reg.counter("mdt.dt.removes").set(dt.removes);
+  reg.counter("mdt.dt.moves").set(dt.moves);
+  reg.counter("mdt.dt.move_early_outs").set(dt.move_early_outs);
+  reg.counter("mdt.dt.full_rebuilds").set(dt.full_rebuilds);
+  reg.counter("mdt.dt.walk_fallbacks").set(dt.walk_fallbacks);
+
   reg.counter("net.messages_sent").set(net_->total_messages_sent());
   reg.counter("net.messages_lost").set(net_->messages_lost());
   reg.counter("net.messages_expired").set(net_->messages_expired());

@@ -198,11 +198,11 @@ bool Triangulation::in_conflict(const Cell& c, const Vec& p) const {
 
 bool Triangulation::cache_circumsphere(Cell& c) {
   if (infinite_index(c) >= 0) return true;  // infinite cells need no sphere
-  std::array<Vec, kMaxVerts>& verts = vert_scratch_;
+  const double* rows[kMaxVerts];
   for (int i = 0; i <= dim_; ++i)
-    verts[static_cast<std::size_t>(i)] =
-        pts_[static_cast<std::size_t>(c.v[static_cast<std::size_t>(i)])];
-  return circumsphere({verts.data(), static_cast<std::size_t>(dim_ + 1)}, c.center, c.radius2);
+    rows[static_cast<std::size_t>(i)] =
+        pts_[static_cast<std::size_t>(c.v[static_cast<std::size_t>(i)])].coords().data();
+  return circumsphere_rows(rows, dim_, c.center, c.radius2);
 }
 
 double Triangulation::cell_orient(const Cell& c, int replace, const Vec& q) const {
@@ -212,6 +212,25 @@ double Triangulation::cell_orient(const Cell& c, int replace, const Vec& q) cons
   for (int i = 0; i <= dim_; ++i) {
     if (i == replace)
       w[static_cast<std::size_t>(i)] = q.coords().data();
+    else
+      w[static_cast<std::size_t>(i)] =
+          pts_[static_cast<std::size_t>(c.v[static_cast<std::size_t>(i)])].coords().data();
+  }
+  double buf[12 * 12];
+  for (int r = 0; r < dim_; ++r)
+    for (int col = 0; col < dim_; ++col)
+      buf[r * dim_ + col] = w[static_cast<std::size_t>(r + 1)][col] - w[0][col];
+  return det_inplace(buf, dim_);
+}
+
+double Triangulation::cell_orient2(const Cell& c, int ra, const Vec& qa, int rb,
+                                   const Vec& qb) const {
+  const double* w[kMaxVerts];
+  for (int i = 0; i <= dim_; ++i) {
+    if (i == ra)
+      w[static_cast<std::size_t>(i)] = qa.coords().data();
+    else if (i == rb)
+      w[static_cast<std::size_t>(i)] = qb.coords().data();
     else
       w[static_cast<std::size_t>(i)] =
           pts_[static_cast<std::size_t>(c.v[static_cast<std::size_t>(i)])].coords().data();
@@ -321,6 +340,10 @@ bool Triangulation::build(std::span<const Vec> points) {
   // reserving avoids reallocation copies of the fat Cell structs mid-build.
   cells_.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(4 * dim_) + 64);
   free_cells_.clear();
+  pt_alive_.assign(static_cast<std::size_t>(n), 1);
+  point_free_.clear();
+  live_points_ = n;
+  v_cell_.assign(static_cast<std::size_t>(n), -1);
   mark_.clear();
   mark_epoch_ = 0;
   hint_ = -1;
@@ -356,6 +379,11 @@ bool Triangulation::build(std::span<const Vec> points) {
       }
     }
     if (!facets_.empty()) return false;
+    for (int ci = 0; ci < static_cast<int>(cells_.size()); ++ci)
+      for (int i = 0; i <= dim_; ++i) {
+        const int w = cells_[static_cast<std::size_t>(ci)].v[static_cast<std::size_t>(i)];
+        if (w != kInfinite) v_cell_[static_cast<std::size_t>(w)] = ci;
+      }
   }
   hint_ = 0;
 
@@ -461,8 +489,391 @@ bool Triangulation::insert(int p) {
     cells_[static_cast<std::size_t>(ci)].alive = false;
     free_cells_.push_back(ci);
   }
+  // Refresh incident-cell hints: every vertex of a destroyed cell lies on
+  // the cavity boundary and therefore reappears in a created cell, so this
+  // pass leaves no live vertex pointing at a dead cell.
+  for (int ci : created_)
+    for (int i = 0; i <= dim_; ++i) {
+      const int w = cells_[static_cast<std::size_t>(ci)].v[static_cast<std::size_t>(i)];
+      if (w != kInfinite) v_cell_[static_cast<std::size_t>(w)] = ci;
+    }
   hint_ = created_.back();
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental maintenance
+
+bool Triangulation::collect_star(int v) {
+  const auto has_v = [&](int ci) {
+    const Cell& c = cells_[static_cast<std::size_t>(ci)];
+    for (int i = 0; i <= dim_; ++i)
+      if (c.v[static_cast<std::size_t>(i)] == v) return true;
+    return false;
+  };
+  int c0 = v < static_cast<int>(v_cell_.size()) ? v_cell_[static_cast<std::size_t>(v)] : -1;
+  if (c0 < 0 || c0 >= static_cast<int>(cells_.size()) ||
+      !cells_[static_cast<std::size_t>(c0)].alive || !has_v(c0)) {
+    c0 = -1;  // stale hint: fall back to a scan (rare; insert/remove refresh hints)
+    for (std::size_t ci = 0; ci < cells_.size(); ++ci)
+      if (cells_[ci].alive && has_v(static_cast<int>(ci))) {
+        c0 = static_cast<int>(ci);
+        break;
+      }
+    if (c0 < 0) return false;
+    v_cell_[static_cast<std::size_t>(v)] = c0;
+  }
+  if (mark_.size() < cells_.size()) mark_.resize(cells_.size(), 0);
+  ++mark_epoch_;
+  star_.clear();
+  star_.push_back(c0);
+  mark_[static_cast<std::size_t>(c0)] = mark_epoch_;
+  // Flood across the facets that contain v: the cell on the other side of
+  // such a facet also contains v, and the star is facet-connected.
+  for (std::size_t i = 0; i < star_.size(); ++i) {
+    const Cell& c = cells_[static_cast<std::size_t>(star_[i])];
+    int iv = -1;
+    for (int k = 0; k <= dim_; ++k)
+      if (c.v[static_cast<std::size_t>(k)] == v) iv = k;
+    if (iv < 0) return false;
+    for (int k = 0; k <= dim_; ++k) {
+      if (k == iv) continue;
+      const int nb = c.nbr[static_cast<std::size_t>(k)];
+      if (nb < 0) return false;
+      if (mark_[static_cast<std::size_t>(nb)] == mark_epoch_) continue;
+      if (!cells_[static_cast<std::size_t>(nb)].alive || !has_v(nb)) return false;
+      mark_[static_cast<std::size_t>(nb)] = mark_epoch_;
+      star_.push_back(nb);
+    }
+  }
+  return true;
+}
+
+bool Triangulation::vertex_neighbors(int v, std::vector<int>& out) {
+  out.clear();
+  if (!point_alive(v) || !collect_star(v)) return false;
+  for (int ci : star_) {
+    const Cell& c = cells_[static_cast<std::size_t>(ci)];
+    for (int i = 0; i <= dim_; ++i) {
+      const int w = c.v[static_cast<std::size_t>(i)];
+      if (w != v && w != kInfinite) out.push_back(w);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return true;
+}
+
+int Triangulation::insert_point(const Vec& p) {
+  GDVR_ASSERT(p.dim() == dim_);
+  int idx;
+  if (!point_free_.empty()) {
+    idx = point_free_.back();
+    point_free_.pop_back();
+    pts_[static_cast<std::size_t>(idx)] = p;
+    pt_alive_[static_cast<std::size_t>(idx)] = 1;
+  } else {
+    idx = static_cast<int>(pts_.size());
+    pts_.push_back(p);
+    pt_alive_.push_back(1);
+    v_cell_.push_back(-1);
+  }
+  ++live_points_;
+  return insert(idx) ? idx : -1;
+}
+
+bool Triangulation::remove_point(int v) {
+  GDVR_PROFILE_SCOPE("geom.delaunay_remove");
+  if (!point_alive(v) || !collect_star(v)) return false;
+  const Vec q = pts_[static_cast<std::size_t>(v)];
+
+  // The link of v: every finite vertex of a star cell other than v.
+  link_.clear();
+  for (int ci : star_) {
+    const Cell& c = cells_[static_cast<std::size_t>(ci)];
+    for (int i = 0; i <= dim_; ++i) {
+      const int w = c.v[static_cast<std::size_t>(i)];
+      if (w != v && w != kInfinite) link_.push_back(w);
+    }
+  }
+  std::sort(link_.begin(), link_.end());
+  link_.erase(std::unique(link_.begin(), link_.end()), link_.end());
+  if (static_cast<int>(link_.size()) < dim_ + 1) return false;
+
+  // Triangulate the link from scratch (a handful of points -- the degree of
+  // v). The coordinates are the already-jittered global ones, so the scratch
+  // complex's predicates agree bit-for-bit with ours and its circumspheres
+  // can be copied verbatim.
+  if (!cavity_tri_) cavity_tri_ = std::make_unique<Triangulation>();
+  Triangulation& lt = *cavity_tri_;
+  lt.set_jitter(0.0, 0);
+  lt.set_locate_mode(locate_mode_);
+  link_pts_.clear();
+  for (int w : link_) link_pts_.push_back(pts_[static_cast<std::size_t>(w)]);
+  if (!lt.build(link_pts_)) return false;
+
+  // Bowyer-Watson duality: deleting v is undoing its insertion into DT(link),
+  // so the cavity is filled by exactly the link-DT cells whose circumsphere /
+  // hull-visibility region contains v. Infinite link-DT cells supply the new
+  // hull facets when v was on the hull.
+  sel_.clear();
+  for (std::size_t ci = 0; ci < lt.cells_.size(); ++ci)
+    if (lt.cells_[ci].alive && lt.in_conflict(lt.cells_[ci], q)) sel_.push_back(static_cast<int>(ci));
+  if (sel_.empty()) return false;
+
+  // Register the cavity's boundary facets: for each star cell, the facet
+  // opposite v, keyed by global vertex ids and carrying the OUTSIDE cell and
+  // its facet index back into the cavity. The filling pass below matches
+  // them and rewires the outside pointers; a consistent fill leaves the
+  // table empty.
+  facets_.reset(dim_, star_.size() + sel_.size() * static_cast<std::size_t>(dim_ + 1));
+  for (int ci : star_) {
+    const Cell& c = cells_[static_cast<std::size_t>(ci)];
+    int iv = -1;
+    for (int k = 0; k <= dim_; ++k)
+      if (c.v[static_cast<std::size_t>(k)] == v) iv = k;
+    const int nb = c.nbr[static_cast<std::size_t>(iv)];
+    if (nb < 0 || mark_[static_cast<std::size_t>(nb)] == mark_epoch_) return false;
+    int j = -1;
+    const Cell& out = cells_[static_cast<std::size_t>(nb)];
+    for (int k = 0; k <= dim_; ++k)
+      if (out.nbr[static_cast<std::size_t>(k)] == ci) j = k;
+    if (j < 0) return false;
+    const FacetKey key = facet_key(c, iv, dim_);
+    int oc = -1, of = -1;
+    if (facets_.match_or_insert(key, nb, j, &oc, &of)) return false;  // duplicate boundary facet
+  }
+
+  // Create the filling cells (vertices mapped scratch -> global) and wire
+  // all adjacency -- fill-to-fill ridges and fill-to-boundary -- through the
+  // facet table.
+  created_.clear();
+  for (int si : sel_) {
+    const int id = alloc_cell();
+    Cell& fresh = cells_[static_cast<std::size_t>(id)];
+    const Cell& sc = lt.cells_[static_cast<std::size_t>(si)];
+    fresh.nbr.fill(-1);
+    fresh.alive = true;
+    for (int i = 0; i <= dim_; ++i) {
+      const int w = sc.v[static_cast<std::size_t>(i)];
+      fresh.v[static_cast<std::size_t>(i)] =
+          w == kInfinite ? kInfinite : link_[static_cast<std::size_t>(w)];
+    }
+    fresh.center = sc.center;
+    fresh.radius2 = sc.radius2;
+    created_.push_back(id);
+  }
+  for (int ci : created_) {
+    for (int k = 0; k <= dim_; ++k) {
+      const FacetKey key = facet_key(cells_[static_cast<std::size_t>(ci)], k, dim_);
+      int oc = -1, of = -1;
+      if (facets_.match_or_insert(key, ci, k, &oc, &of)) {
+        cells_[static_cast<std::size_t>(ci)].nbr[static_cast<std::size_t>(k)] = oc;
+        cells_[static_cast<std::size_t>(oc)].nbr[static_cast<std::size_t>(of)] = ci;
+      }
+    }
+  }
+  if (!facets_.empty()) return false;  // fill does not close the cavity: poisoned
+
+  for (int ci : star_) {
+    cells_[static_cast<std::size_t>(ci)].alive = false;
+    free_cells_.push_back(ci);
+  }
+  pt_alive_[static_cast<std::size_t>(v)] = 0;
+  point_free_.push_back(v);
+  --live_points_;
+  for (int ci : created_)
+    for (int i = 0; i <= dim_; ++i) {
+      const int w = cells_[static_cast<std::size_t>(ci)].v[static_cast<std::size_t>(i)];
+      if (w != kInfinite) v_cell_[static_cast<std::size_t>(w)] = ci;
+    }
+  hint_ = created_.back();
+  return true;
+}
+
+Triangulation::MoveResult Triangulation::move_point(int v, const Vec& p, bool allow_reinsert) {
+  GDVR_PROFILE_SCOPE("geom.delaunay_move");
+  if (!point_alive(v)) return MoveResult::kFailed;
+  if (!collect_star(v)) return MoveResult::kFailed;
+
+  // Early-out certificate (the kinetic-Delaunay certificate set): the
+  // topology is unchanged under v -> p iff
+  //   (1) every finite star cell keeps its orientation sign (no inversion),
+  //   (2) every facet of a finite star cell keeps its local Delaunay
+  //       property at the new position, and
+  //   (3) the hull stays locally convex at every ridge of every hull facet
+  //       incident to v (the infinite star cells).
+  // Facets not incident to the star are untouched, so local Delaunay (and
+  // hull convexity) everywhere else follows, and only v's coordinates plus
+  // the star's circumspheres need updating.
+  bool early = true;
+  star_centers_.clear();
+  star_r2_.clear();
+  // Pass 1: per-cell validity. Finite star cells must keep their
+  // orientation sign and admit a circumsphere at the new position; infinite
+  // cells have neither and get placeholder slots to keep the arrays in
+  // lockstep with star_.
+  for (int ci : star_) {
+    const Cell& c = cells_[static_cast<std::size_t>(ci)];
+    if (infinite_index(c) >= 0) {
+      star_centers_.push_back(Vec());
+      star_r2_.push_back(0.0);
+      continue;
+    }
+    int iv = -1;
+    for (int k = 0; k <= dim_; ++k)
+      if (c.v[static_cast<std::size_t>(k)] == v) iv = k;
+    const double so = cell_orient(c, -1, p);
+    const double sn = cell_orient(c, iv, p);
+    if (so == 0.0 || sn == 0.0 || (so > 0.0) != (sn > 0.0)) {
+      early = false;
+      break;
+    }
+    const double* rows[kMaxVerts];
+    for (int i = 0; i <= dim_; ++i)
+      rows[static_cast<std::size_t>(i)] =
+          i == iv ? p.coords().data()
+                  : pts_[static_cast<std::size_t>(c.v[static_cast<std::size_t>(i)])].coords().data();
+    Vec center;
+    double r2 = 0.0;
+    if (!circumsphere_rows(rows, dim_, center, r2)) {
+      early = false;
+      break;
+    }
+    star_centers_.push_back(center);
+    star_r2_.push_back(r2);
+  }
+  if (early) {
+    // Pass 2: facet certificates.
+    for (std::size_t si = 0; si < star_.size() && early; ++si) {
+      const Cell& c = cells_[static_cast<std::size_t>(star_[si])];
+      const int inf = infinite_index(c);
+      int iv = -1;
+      for (int k = 0; k <= dim_; ++k)
+        if (c.v[static_cast<std::size_t>(k)] == v) iv = k;
+      if (inf < 0) {
+        for (int k = 0; k <= dim_ && early; ++k) {
+          const int nb = c.nbr[static_cast<std::size_t>(k)];
+          if (nb < 0) {
+            early = false;
+            break;
+          }
+          if (k == iv) {
+            // Facet opposite v: the outside neighbor is unchanged; the moved
+            // vertex must stay outside its conflict region.
+            if (in_conflict(cells_[static_cast<std::size_t>(nb)], p)) early = false;
+          } else {
+            // Facet containing v: the neighbor is another star cell. Its apex
+            // (the vertex opposite the shared facet) must stay outside our
+            // updated circumsphere.
+            const Cell& nc = cells_[static_cast<std::size_t>(nb)];
+            int apex = -1;
+            for (int i = 0; i <= dim_ && apex < 0; ++i) {
+              const int w = nc.v[static_cast<std::size_t>(i)];
+              bool on_facet = false;
+              for (int j = 0; j <= dim_; ++j)
+                if (j != k && c.v[static_cast<std::size_t>(j)] == w) on_facet = true;
+              if (!on_facet) apex = w;
+            }
+            if (apex < 0 || apex == v) {
+              early = false;
+              break;
+            }
+            // An infinite apex means this facet is a hull facet of an
+            // infinite star cell; its conditions are the ridge-convexity
+            // checks run from that cell's side below.
+            if (apex == kInfinite) continue;
+            const double d2 =
+                pts_[static_cast<std::size_t>(apex)].distance2(star_centers_[si]);
+            if (d2 < star_r2_[si]) early = false;
+          }
+        }
+      } else {
+        // Infinite star cell: its hull facet F (the finite vertices of c)
+        // contains v. The facet opposite the infinite slot borders the
+        // finite cell F + {apex}, which also contains v and is covered by
+        // pass 1 and the finite-cell facet checks. What remains is local
+        // convexity of the moved hull at each ridge of F: the apex of every
+        // adjacent hull facet must stay strictly on the inner side of F's
+        // new hyperplane, where "inner" is the side of the adjacent finite
+        // cell's apex.
+        const int fin = c.nbr[static_cast<std::size_t>(inf)];
+        if (fin < 0 || infinite_index(cells_[static_cast<std::size_t>(fin)]) >= 0) {
+          early = false;  // degenerate flat hull
+          break;
+        }
+        const Cell& fc = cells_[static_cast<std::size_t>(fin)];
+        int a_fin = -1;
+        for (int i = 0; i <= dim_ && a_fin < 0; ++i) {
+          const int w = fc.v[static_cast<std::size_t>(i)];
+          bool on_facet = false;
+          for (int j = 0; j <= dim_; ++j)
+            if (j != inf && c.v[static_cast<std::size_t>(j)] == w) on_facet = true;
+          if (!on_facet) a_fin = w;
+        }
+        if (a_fin < 0 || a_fin == kInfinite || a_fin == v) {
+          early = false;
+          break;
+        }
+        const double base =
+            cell_orient2(c, inf, pts_[static_cast<std::size_t>(a_fin)], iv, p);
+        if (base == 0.0) {
+          early = false;
+          break;
+        }
+        for (int k = 0; k <= dim_ && early; ++k) {
+          if (k == inf) continue;
+          const int nb = c.nbr[static_cast<std::size_t>(k)];
+          if (nb < 0) {
+            early = false;
+            break;
+          }
+          // The neighbor across a ridge (facet keeping the infinite slot)
+          // is the adjacent hull facet's infinite cell; its apex is finite.
+          const Cell& nc = cells_[static_cast<std::size_t>(nb)];
+          int a_r = -1;
+          for (int i = 0; i <= dim_ && a_r < 0; ++i) {
+            const int w = nc.v[static_cast<std::size_t>(i)];
+            bool on_facet = false;
+            for (int j = 0; j <= dim_; ++j)
+              if (j != k && c.v[static_cast<std::size_t>(j)] == w) on_facet = true;
+            if (!on_facet) a_r = w;
+          }
+          if (a_r < 0 || a_r == kInfinite || a_r == v) {
+            early = false;
+            break;
+          }
+          const double o = cell_orient2(c, inf, pts_[static_cast<std::size_t>(a_r)], iv, p);
+          if (o == 0.0 || (o > 0.0) != (base > 0.0)) early = false;
+        }
+      }
+    }
+    if (early) {
+      pts_[static_cast<std::size_t>(v)] = p;
+      for (std::size_t si = 0; si < star_.size(); ++si) {
+        Cell& c = cells_[static_cast<std::size_t>(star_[si])];
+        if (infinite_index(c) >= 0) continue;
+        c.center = star_centers_[si];
+        c.radius2 = star_r2_[si];
+      }
+      return MoveResult::kEarlyOut;
+    }
+  }
+
+  // The certificate failed: the topology must change. A caller batching
+  // moves opts out of per-point repair and coalesces into one rebuild.
+  if (!allow_reinsert) return MoveResult::kDeclined;
+
+  // Slow path: remove, then reinsert the same vertex slot at the new
+  // position (the slot just freed is by construction the back of the free
+  // list).
+  if (!remove_point(v)) return MoveResult::kFailed;
+  GDVR_ASSERT(!point_free_.empty() && point_free_.back() == v);
+  point_free_.pop_back();
+  pt_alive_[static_cast<std::size_t>(v)] = 1;
+  ++live_points_;
+  pts_[static_cast<std::size_t>(v)] = p;
+  return insert(v) ? MoveResult::kReinserted : MoveResult::kFailed;
 }
 
 std::vector<std::pair<int, int>> Triangulation::finite_edges() const {
@@ -502,6 +913,7 @@ bool Triangulation::empty_circumsphere_property(double tol) const {
       verts[static_cast<std::size_t>(i)] =
           pts_[static_cast<std::size_t>(c.v[static_cast<std::size_t>(i)])];
     for (std::size_t pi = 0; pi < pts_.size(); ++pi) {
+      if (pi < pt_alive_.size() && pt_alive_[pi] == 0) continue;  // removed slot
       bool is_vertex = false;
       for (int i = 0; i <= dim_; ++i)
         if (c.v[static_cast<std::size_t>(i)] == static_cast<int>(pi)) is_vertex = true;

@@ -21,6 +21,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -101,6 +102,48 @@ class Triangulation {
   // Collect the finite-finite edge set (u < v, deduplicated).
   std::vector<std::pair<int, int>> finite_edges() const;
 
+  // --- incremental maintenance (requires a successfully built complex) -----
+  // The incremental API mutates a live complex in O(affected cells). Every
+  // operation either succeeds and leaves a valid Delaunay complex, or fails
+  // and leaves the complex POISONED: the caller must rebuild from scratch
+  // (DynamicDelaunay does exactly that and counts the fallback).
+
+  // Inserts `p` as a new vertex. The caller supplies already-jittered
+  // coordinates -- no jitter is added here. Returns the new vertex index
+  // (tombstoned slots are reused) or -1 on failure.
+  int insert_point(const Vec& p);
+
+  // Removes vertex v by re-triangulating the cavity left by its star: the
+  // filling cells are the cells of the Delaunay triangulation of v's link
+  // that are in conflict with v's position (the Bowyer-Watson duality --
+  // deleting v undoes inserting it). Returns false on failure (degenerate
+  // link, inconsistent cavity).
+  bool remove_point(int v);
+
+  // Moves vertex v to `p` (already jittered). Fast path: when the kinetic
+  // Delaunay certificate set holds at the new position -- every finite star
+  // cell keeps its orientation sign, every star-cell facet keeps its local
+  // Delaunay property, and the hull stays locally convex at every ridge of
+  // every hull facet incident to v -- only positions and cached
+  // circumspheres change, no topology update at all. Otherwise the move
+  // degrades to remove_point + reinsertion at the same vertex slot, unless
+  // `allow_reinsert` is false: then kDeclined is returned with the complex
+  // untouched (still holding v's old position), so a caller applying a
+  // batch of moves can coalesce every declined move into one rebuild
+  // instead of paying a cavity dig + link-DT build per point.
+  enum class MoveResult { kEarlyOut, kReinserted, kDeclined, kFailed };
+  MoveResult move_point(int v, const Vec& p, bool allow_reinsert = true);
+
+  // Sorted finite Delaunay neighbors of vertex v, via a BFS over v's star.
+  // Returns false if v's star cannot be collected (inconsistent complex).
+  bool vertex_neighbors(int v, std::vector<int>& out);
+
+  bool point_alive(int v) const {
+    return v >= 0 && v < static_cast<int>(pt_alive_.size()) &&
+           pt_alive_[static_cast<std::size_t>(v)] != 0;
+  }
+  int live_points() const { return live_points_; }
+
   // Validation helper for tests: true iff no jittered input point lies
   // strictly inside the circumsphere of any alive finite cell (tolerance is
   // absolute on the predicate value).
@@ -143,6 +186,10 @@ class Triangulation {
 
   bool init_first_simplex(std::vector<int>& chosen);
   bool insert(int p);
+  // Star of v (every alive cell with v as a vertex) via BFS across the
+  // facets containing v, seeded from the v_cell_ hint; fills star_. False if
+  // no alive cell contains v or the adjacency is inconsistent.
+  bool collect_star(int v);
   bool in_conflict(const Cell& c, const Vec& p) const;
   bool cache_circumsphere(Cell& c);
   int infinite_index(const Cell& c) const;
@@ -152,6 +199,9 @@ class Triangulation {
   // Orientation sign of the simplex formed by cell c's vertices with the one
   // at index `replace` (if >= 0) substituted by q. Stack buffers only.
   double cell_orient(const Cell& c, int replace, const Vec& q) const;
+  // Same with two substituted vertices -- the hull-convexity certificates in
+  // move_point need the moved vertex AND the infinite slot replaced at once.
+  double cell_orient2(const Cell& c, int ra, const Vec& qa, int rb, const Vec& qb) const;
   // Takes a slot off the free list (or grows cells_); returns its id.
   int alloc_cell();
 
@@ -161,6 +211,15 @@ class Triangulation {
   LocateMode locate_mode_ = LocateMode::kWalk;
   std::vector<Vec> pts_;
   std::vector<Cell> cells_;
+  // Liveness mask + free slots for vertices, so remove/insert cycles reuse
+  // point storage instead of growing pts_ monotonically.
+  std::vector<char> pt_alive_;
+  std::vector<int> point_free_;
+  int live_points_ = 0;
+  // Per-vertex incident-cell hint: one alive cell containing the vertex,
+  // refreshed whenever cells are created. collect_star() verifies it and
+  // falls back to a linear scan when stale.
+  std::vector<int> v_cell_;
   // Tombstoned cell slots available for reuse, so cells_ stays proportional
   // to the live complex instead of growing monotonically with inserts.
   std::vector<int> free_cells_;
@@ -176,6 +235,16 @@ class Triangulation {
   std::vector<int> conflict_;
   std::vector<int> created_;
   FacetTable facets_;
+  // Scratch for the incremental operations (star cells, link vertex ids and
+  // coordinates, selected filling cells, tentative circumspheres of a moved
+  // star) plus the scratch triangulation of a removed vertex's link.
+  std::vector<int> star_;
+  std::vector<int> link_;
+  std::vector<Vec> link_pts_;
+  std::vector<int> sel_;
+  std::vector<Vec> star_centers_;
+  std::vector<double> star_r2_;
+  std::unique_ptr<Triangulation> cavity_tri_;
 };
 
 }  // namespace gdvr::geom

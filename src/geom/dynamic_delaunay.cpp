@@ -1,0 +1,401 @@
+#include "geom/dynamic_delaunay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace gdvr::geom {
+
+namespace {
+
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Deterministic jitter in [-1, 1) keyed by (seed, key hash, coordinate) --
+// the keyed counterpart of the per-index jitter in delaunay.cpp.
+double jitter_unit(std::uint64_t seed, std::uint64_t kh, int coord) {
+  const std::uint64_t h = splitmix(seed ^ splitmix(kh * 131 + static_cast<std::uint64_t>(coord)));
+  return static_cast<double>(h >> 11) * 0x1.0p-52 - 1.0;
+}
+
+// Binary search over a key-sorted vector of pairs: position a key would
+// occupy, and exact-match lookup (end() when absent).
+template <class Flat>
+auto key_slot(Flat& v, DynamicDelaunay::Key k) {
+  return std::lower_bound(v.begin(), v.end(), k,
+                          [](const auto& e, DynamicDelaunay::Key key) { return e.first < key; });
+}
+
+template <class Flat>
+auto key_find(Flat& v, DynamicDelaunay::Key k) {
+  auto it = key_slot(v, k);
+  return (it != v.end() && it->first == k) ? it : v.end();
+}
+
+}  // namespace
+
+DynamicDelaunay::DynamicDelaunay(int dim, const DelaunayOptions& opts)
+    : dim_(dim), opts_(opts) {
+  GDVR_ASSERT(dim >= 2 && dim <= 12);
+  if (opts_.force_linear_scan) tri_.set_locate_mode(Triangulation::LocateMode::kLinearScan);
+  // All jitter is applied here, keyed by Key; the Triangulation must not add
+  // a second, index-keyed layer on rebuilds.
+  tri_.set_jitter(0.0, 0);
+}
+
+Vec DynamicDelaunay::jittered(Key key, const Vec& pos, int level) const {
+  // Magnitude is relative to the point's own coordinate scale rather than
+  // the set's bounding box: the set changes under churn, the point does not,
+  // and the oracle contract needs jitter to depend on nothing mutable.
+  double scale = 1.0;
+  for (int c = 0; c < dim_; ++c) scale = std::max(scale, std::abs(pos[c]));
+  double mag = opts_.jitter_rel * scale;
+  for (int l = 0; l < level; ++l) mag *= 1e3;
+  const std::uint64_t kh = splitmix(static_cast<std::uint64_t>(key));
+  const std::uint64_t seed =
+      opts_.jitter_seed + static_cast<std::uint64_t>(level) * 0x1234567ull;
+  Vec out = pos;
+  for (int c = 0; c < dim_; ++c) out[c] += mag * jitter_unit(seed, kh, c);
+  return out;
+}
+
+bool DynamicDelaunay::contains(Key key) const { return key_find(raw_, key) != raw_.end(); }
+
+void DynamicDelaunay::assign(std::span<const std::pair<Key, Vec>> points) {
+  raw_.clear();
+  for (const auto& [k, p] : points) {
+    GDVR_ASSERT(p.dim() == dim_);
+    auto it = key_slot(raw_, k);
+    if (it != raw_.end() && it->first == k)
+      it->second = p;
+    else
+      raw_.insert(it, {k, p});
+  }
+  rebuild();
+}
+
+void DynamicDelaunay::rebuild() {
+  tri_ok_ = false;
+  idx_.clear();
+  key_of_.clear();
+  const int n = static_cast<int>(raw_.size());
+  if (n < dim_ + 2) return;  // with <= dim+1 points every pair is a DT neighbor
+  // The same escalation ladder as delaunay_graph(): retry with 1000x the
+  // jitter when a build fails on a degenerate set. The level is part of the
+  // coordinates, so a from-scratch oracle walking the same ladder on the
+  // same set lands on the same jittered points.
+  for (int lv = 0; lv < std::max(1, opts_.max_attempts) && !tri_ok_; ++lv) {
+    pts_scratch_.clear();
+    for (const auto& [k, p] : raw_) pts_scratch_.push_back(jittered(k, p, lv));
+    if (tri_.build(pts_scratch_)) {
+      tri_ok_ = true;
+      level_ = lv;
+    }
+  }
+  if (!tri_ok_) {
+    GDVR_LOG_WARN(
+        "DynamicDelaunay: rebuild failed after retries (n=%d dim=%d); "
+        "complete-graph fallback",
+        n, dim_);
+    return;
+  }
+  key_of_.reserve(raw_.size());
+  idx_.reserve(raw_.size());
+  int i = 0;
+  for (const auto& [k, p] : raw_) {
+    (void)p;
+    idx_.push_back({k, i});  // raw_ is key-sorted, so idx_ comes out sorted too
+    key_of_.push_back(k);
+    ++i;
+  }
+}
+
+void DynamicDelaunay::insert(Key key, const Vec& pos) {
+  GDVR_ASSERT(pos.dim() == dim_);
+  ++stats_.inserts;
+  auto rt = key_slot(raw_, key);
+  GDVR_ASSERT(rt == raw_.end() || rt->first != key);
+  raw_.insert(rt, {key, pos});
+  if (!tri_ok_) {
+    // Either still below the triangulable size (first viable build is not a
+    // fallback) or in degenerate fallback, where a fresh point may well make
+    // the set triangulable again.
+    if (static_cast<int>(raw_.size()) >= dim_ + 2) rebuild();
+    return;
+  }
+  const int idx = tri_.insert_point(jittered(key, pos, level_));
+  if (idx < 0) {
+    ++stats_.full_rebuilds;
+    rebuild();
+    return;
+  }
+  if (idx == static_cast<int>(key_of_.size()))
+    key_of_.push_back(key);
+  else
+    key_of_[static_cast<std::size_t>(idx)] = key;
+  auto it = key_slot(idx_, key);
+  if (it != idx_.end() && it->first == key)
+    it->second = idx;
+  else
+    idx_.insert(it, {key, idx});
+}
+
+void DynamicDelaunay::remove(Key key) {
+  auto it = key_find(raw_, key);
+  if (it == raw_.end()) return;
+  ++stats_.removes;
+  raw_.erase(it);
+  if (!tri_ok_) {
+    if (static_cast<int>(raw_.size()) >= dim_ + 2) rebuild();  // degenerate point may be gone
+    return;
+  }
+  if (static_cast<int>(raw_.size()) < dim_ + 2) {
+    tri_ok_ = false;  // too small to triangulate: complete-graph mode
+    idx_.clear();
+    key_of_.clear();
+    return;
+  }
+  auto ii = key_find(idx_, key);
+  if (ii == idx_.end() || !tri_.remove_point(ii->second)) {
+    ++stats_.full_rebuilds;
+    rebuild();
+    return;
+  }
+  idx_.erase(ii);
+}
+
+void DynamicDelaunay::move(Key key, const Vec& pos) {
+  auto it = key_find(raw_, key);
+  GDVR_ASSERT(it != raw_.end());
+  GDVR_ASSERT(pos.dim() == dim_);
+  ++stats_.moves;
+  if (it->second == pos) return;
+  it->second = pos;
+  if (!tri_ok_) {
+    if (idx_.empty() && static_cast<int>(raw_.size()) >= dim_ + 2)
+      rebuild();  // degenerate fallback: the move may have broken the tie
+    return;
+  }
+  const auto ii = key_find(idx_, key);
+  bool ok = ii != idx_.end();
+  if (ok) {
+    const Triangulation::MoveResult r = tri_.move_point(ii->second, jittered(key, pos, level_));
+    if (r == Triangulation::MoveResult::kEarlyOut) ++stats_.move_early_outs;
+    ok = r != Triangulation::MoveResult::kFailed;
+  }
+  if (!ok) {
+    ++stats_.full_rebuilds;
+    rebuild();
+  }
+}
+
+void DynamicDelaunay::apply_diff(std::span<const Key> removes,
+                                 std::span<const std::pair<Key, Vec>> inserts,
+                                 std::span<const std::pair<Key, Vec>> moves) {
+  if (removes.empty() && inserts.empty() && moves.empty()) return;
+  if (!tri_ok_) {
+    // Complete-graph or undersized mode: apply the whole batch to the raw
+    // set, then at most one build attempt (a nudge may fix a degenerate set).
+    bool changed = false;
+    for (Key k : removes) {
+      auto it = key_find(raw_, k);
+      if (it == raw_.end()) continue;
+      ++stats_.removes;
+      raw_.erase(it);
+      changed = true;
+    }
+    for (const auto& [k, p] : inserts) {
+      GDVR_ASSERT(p.dim() == dim_);
+      ++stats_.inserts;
+      auto it = key_slot(raw_, k);
+      GDVR_ASSERT(it == raw_.end() || it->first != k);
+      raw_.insert(it, {k, p});
+      changed = true;
+    }
+    for (const auto& [k, p] : moves) {
+      auto it = key_find(raw_, k);
+      GDVR_ASSERT(it != raw_.end());
+      GDVR_ASSERT(p.dim() == dim_);
+      ++stats_.moves;
+      if (it->second == p) continue;
+      it->second = p;
+      changed = true;
+    }
+    if (changed) rebuild();  // resets complete-graph mode when still undersized
+    return;
+  }
+  // Phase 1: moves, early-out certificate only, against the pre-batch
+  // complex. A declined move leaves the complex untouched, so the whole
+  // remaining batch can still collapse into one rebuild. Any interleaving of
+  // the batch's ops lands on the same complex -- each op preserves the
+  // Delaunay invariant and the jittered set's DT is unique -- so evaluating
+  // move certificates before the removes/inserts is safe.
+  //
+  // Cost model, in units of one fresh insert (a cavity dig): a remove also
+  // builds the link DT of its hole, a declined move repaired per-point pays
+  // both. A from-scratch rebuild is about one insert per live point, but the
+  // per-point ops run on a complex the batch keeps perturbing and their
+  // constants are worse than bulk insertion, so the bar is set at half a
+  // rebuild: measured on the VPoD steady-state bench, n/2 and n/3 tie while
+  // a full-n bar loses ~15% by staying per-point too long. Once the batch's
+  // structural work passes the bar, one rebuild replaces all of it -- a
+  // mostly-moved diff (VPoD steady state) collapses to from-scratch cost
+  // while a mostly-unchanged diff stays O(affected).
+  const std::size_t rebuild_cost = raw_.size() / 2;
+  const std::size_t fixed_cost = inserts.size() + 2 * removes.size();
+  declined_scratch_.clear();
+  std::size_t mi = 0;
+  bool bail = fixed_cost > rebuild_cost;
+  // Predictive skip: when a batch bails, every certificate already attempted
+  // -- including the ones that passed -- was wasted, because the rebuild
+  // re-places those points from raw_ anyway. So before attempting any,
+  // predict the declines from the trailing early-out rate and skip straight
+  // to the rebuild when the batch looks doomed. Every 8th skip runs phase 1
+  // anyway, so a workload that turns calm (small steps, certificates start
+  // holding) pulls the estimate back up and re-enables the incremental path.
+  if (!bail && !moves.empty()) {
+    const double predicted = static_cast<double>(moves.size()) * (1.0 - eo_rate_);
+    if (static_cast<double>(fixed_cost) + 3.0 * predicted > static_cast<double>(rebuild_cost)) {
+      if (skips_since_probe_ < 7) {
+        ++skips_since_probe_;
+        bail = true;
+      } else {
+        skips_since_probe_ = 0;
+      }
+    }
+  }
+  std::size_t attempted = 0;
+  std::size_t attempted_eo = 0;
+  for (; !bail && mi < moves.size(); ++mi) {
+    const auto& [k, p] = moves[mi];
+    auto it = key_find(raw_, k);
+    GDVR_ASSERT(it != raw_.end());
+    GDVR_ASSERT(p.dim() == dim_);
+    ++stats_.moves;
+    if (it->second == p) continue;
+    it->second = p;
+    const auto ii = key_find(idx_, k);
+    if (ii == idx_.end()) {
+      bail = true;  // index inconsistency: let the rebuild resolve it
+      ++mi;
+      break;
+    }
+    const Triangulation::MoveResult r =
+        tri_.move_point(ii->second, jittered(k, p, level_), /*allow_reinsert=*/false);
+    ++attempted;
+    if (r == Triangulation::MoveResult::kEarlyOut) {
+      ++attempted_eo;
+      ++stats_.move_early_outs;
+      continue;
+    }
+    if (r == Triangulation::MoveResult::kDeclined &&
+        fixed_cost + 3 * (declined_scratch_.size() + 1) <= rebuild_cost) {
+      declined_scratch_.push_back(k);
+      continue;
+    }
+    bail = true;  // kFailed, or past the point where one rebuild is cheaper
+    ++mi;
+    break;
+  }
+  if (attempted > 0)
+    eo_rate_ = (3.0 * eo_rate_ + static_cast<double>(attempted_eo) / static_cast<double>(attempted)) / 4.0;
+  if (bail) {
+    // Fold everything still pending -- remaining moves, all removes, all
+    // inserts, the declined moves already recorded in raw_ -- into one
+    // rebuild instead of paying per-point cavity work first.
+    for (; mi < moves.size(); ++mi) {
+      const auto& [k, p] = moves[mi];
+      auto it = key_find(raw_, k);
+      GDVR_ASSERT(it != raw_.end());
+      ++stats_.moves;
+      it->second = p;
+    }
+    for (Key k : removes) {
+      auto it = key_find(raw_, k);
+      if (it == raw_.end()) continue;
+      ++stats_.removes;
+      raw_.erase(it);
+    }
+    for (const auto& [k, p] : inserts) {
+      GDVR_ASSERT(p.dim() == dim_);
+      ++stats_.inserts;
+      auto it = key_slot(raw_, k);
+      GDVR_ASSERT(it == raw_.end() || it->first != k);
+      raw_.insert(it, {k, p});
+    }
+    ++stats_.full_rebuilds;
+    rebuild();
+    return;
+  }
+  // Phase 2: cheap enough to stay incremental. remove()/insert() recover
+  // from their own failures with an internal rebuild (which consumes raw_,
+  // already holding every declined move's position).
+  for (Key k : removes) remove(k);
+  for (const auto& [k, p] : inserts) insert(k, p);
+  for (Key k : declined_scratch_) {
+    if (!tri_ok_) return;  // a structural op above fell back; nothing to repair
+    const auto ii = key_find(idx_, k);
+    const auto rt = key_find(raw_, k);
+    const Triangulation::MoveResult r =
+        (ii != idx_.end() && rt != raw_.end())
+            ? tri_.move_point(ii->second, jittered(k, rt->second, level_), /*allow_reinsert=*/true)
+            : Triangulation::MoveResult::kFailed;
+    if (r == Triangulation::MoveResult::kFailed) {
+      ++stats_.full_rebuilds;
+      rebuild();
+      return;
+    }
+    // kReinserted keeps the same vertex slot, so idx_ stays valid. A second
+    // early-out is possible when an earlier repair restored the certificate.
+    if (r == Triangulation::MoveResult::kEarlyOut) ++stats_.move_early_outs;
+  }
+}
+
+std::vector<DynamicDelaunay::Key> DynamicDelaunay::neighbors(Key key) {
+  std::vector<Key> out;
+  if (!contains(key)) return out;
+  if (tri_ok_) {
+    const auto ii = key_find(idx_, key);
+    if (ii != idx_.end() && tri_.vertex_neighbors(ii->second, nbr_scratch_)) {
+      out.reserve(nbr_scratch_.size());
+      for (int vi : nbr_scratch_) out.push_back(key_of_[static_cast<std::size_t>(vi)]);
+      std::sort(out.begin(), out.end());
+      return out;
+    }
+    // A live complex whose star walk fails is poisoned: rebuild and retry.
+    ++stats_.full_rebuilds;
+    rebuild();
+    if (tri_ok_) {
+      const auto ij = key_find(idx_, key);
+      if (ij != idx_.end() && tri_.vertex_neighbors(ij->second, nbr_scratch_)) {
+        out.reserve(nbr_scratch_.size());
+        for (int vi : nbr_scratch_) out.push_back(key_of_[static_cast<std::size_t>(vi)]);
+        std::sort(out.begin(), out.end());
+        return out;
+      }
+    }
+  }
+  // Complete-graph mode.
+  out.reserve(raw_.size());
+  for (const auto& [k, p] : raw_) {
+    (void)p;
+    if (k != key) out.push_back(k);
+  }
+  return out;
+}
+
+DynamicDtStats DynamicDelaunay::stats() const {
+  DynamicDtStats s = stats_;
+  // tri_ persists across rebuilds (build() reassigns the complex but never
+  // resets the counter), so this is monotone over the instance's lifetime.
+  s.walk_fallbacks = tri_.walk_fallbacks();
+  return s;
+}
+
+}  // namespace gdvr::geom

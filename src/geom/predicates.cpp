@@ -112,17 +112,29 @@ double in_sphere(std::span<const Vec> points, const Vec& q) {
 bool circumsphere(std::span<const Vec> points, Vec& center, double& radius2) {
   const int dim = points[0].dim();
   GDVR_ASSERT(static_cast<int>(points.size()) == dim + 1);
+  const double* rows[kMaxN];
+  for (int i = 0; i <= dim; ++i)
+    rows[static_cast<std::size_t>(i)] = points[static_cast<std::size_t>(i)].coords().data();
+  return circumsphere_rows(rows, dim, center, radius2);
+}
+
+bool circumsphere_rows(const double* const* rows, int dim, Vec& center, double& radius2) {
   // Solve 2 (p_i - p_0) . x = |p_i|^2 - |p_0|^2 for i = 1..d, augmented
   // Gaussian elimination with partial pivoting on a stack buffer.
   constexpr int kW = kMaxN + 1;
   std::array<double, kMaxN * kW> a;
-  const double n0 = points[0].norm2();
+  const double* p0 = rows[0];
+  double n0 = 0.0;
+  for (int c = 0; c < dim; ++c) n0 += p0[c] * p0[c];
   const int w = dim + 1;  // row width: dim coefficients + rhs
   for (int r = 0; r < dim; ++r) {
-    const Vec& p = points[static_cast<std::size_t>(r + 1)];
-    for (int c = 0; c < dim; ++c)
-      a[static_cast<std::size_t>(r * w + c)] = 2.0 * (p[c] - points[0][c]);
-    a[static_cast<std::size_t>(r * w + dim)] = p.norm2() - n0;
+    const double* p = rows[r + 1];
+    double np = 0.0;
+    for (int c = 0; c < dim; ++c) {
+      a[static_cast<std::size_t>(r * w + c)] = 2.0 * (p[c] - p0[c]);
+      np += p[c] * p[c];
+    }
+    a[static_cast<std::size_t>(r * w + dim)] = np - n0;
   }
   for (int col = 0; col < dim; ++col) {
     int pivot = col;
@@ -150,7 +162,12 @@ bool circumsphere(std::span<const Vec> points, Vec& center, double& radius2) {
     for (int k = row + 1; k < dim; ++k) s -= a[static_cast<std::size_t>(row * w + k)] * center[k];
     center[row] = s / a[static_cast<std::size_t>(row * w + row)];
   }
-  radius2 = center.distance2(points[0]);
+  double r2 = 0.0;
+  for (int c = 0; c < dim; ++c) {
+    const double diff = center[c] - p0[c];
+    r2 += diff * diff;
+  }
+  radius2 = r2;
   return center.finite() && std::isfinite(radius2);
 }
 

@@ -36,4 +36,9 @@ double in_sphere(std::span<const Vec> points, const Vec& q);
 // simplex is (numerically) degenerate.
 bool circumsphere(std::span<const Vec> points, Vec& center, double& radius2);
 
+// Same predicate over raw coordinate rows (dim + 1 pointers, each to `dim`
+// doubles). The triangulation kernel calls this once per created cell; the
+// row-pointer form avoids copying dim+1 Vec objects into scratch first.
+bool circumsphere_rows(const double* const* rows, int dim, Vec& center, double& radius2);
+
 }  // namespace gdvr::geom

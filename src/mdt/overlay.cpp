@@ -34,6 +34,7 @@ MdtOverlay::MdtOverlay(Net& net, const MdtConfig& config)
       sync_stats_(static_cast<std::size_t>(net.size())),
       recompute_stats_(static_cast<std::size_t>(net.size())),
       fd_stats_(static_cast<std::size_t>(net.size())),
+      dt_retired_(static_cast<std::size_t>(net.size())),
       states_(static_cast<std::size_t>(net.size())) {
   Rng base(0x4D445400ull);  // "MDT" seed for protocol-internal jitter
   rng_.reserve(static_cast<std::size_t>(net.size()));
@@ -99,10 +100,38 @@ void MdtOverlay::start_join(NodeId u) {
 void MdtOverlay::deactivate(NodeId u) {
   net_.set_alive(u, false);
   const std::uint64_t pos_version = st(u).pos_version;
+  if (st(u).dyn) {
+    // Fold the dying instance's maintenance counters into the per-node
+    // retired accumulator so dt_stats() stays monotone across churn.
+    const geom::DynamicDtStats d = st(u).dyn->stats();
+    geom::DynamicDtStats& r = dt_retired_[static_cast<std::size_t>(u)];
+    r.inserts += d.inserts;
+    r.removes += d.removes;
+    r.moves += d.moves;
+    r.move_early_outs += d.move_early_outs;
+    r.full_rebuilds += d.full_rebuilds;
+    r.walk_fallbacks += d.walk_fallbacks;
+  }
   st(u) = NodeState{};  // silent failure: all soft state at u is gone
   // Position versions stay monotonic across reboots, so a rebooted node's
   // fresh position is never out-voted by gossip about its previous life.
   st(u).pos_version = pos_version;
+}
+
+geom::DynamicDtStats MdtOverlay::dt_stats() const {
+  geom::DynamicDtStats total;
+  const auto add = [&total](const geom::DynamicDtStats& d) {
+    total.inserts += d.inserts;
+    total.removes += d.removes;
+    total.moves += d.moves;
+    total.move_early_outs += d.move_early_outs;
+    total.full_rebuilds += d.full_rebuilds;
+    total.walk_fallbacks += d.walk_fallbacks;
+  };
+  for (const geom::DynamicDtStats& d : dt_retired_) add(d);
+  for (const NodeState& s : states_)
+    if (s.dyn) add(s.dyn->stats());
+  return total;
 }
 
 // --------------------------------------------------------------------------
@@ -974,26 +1003,69 @@ void MdtOverlay::recompute(NodeId u) {
   } else {
     ++rec_at(u).rebuilds;
 
-    // Local DT of {u} + P_u + C_u; N_u = u's neighbors in it.
-    std::vector<NodeId> ids;
-    std::vector<Vec> pts;
-    ids.push_back(u);
-    pts.push_back(s.pos);
-    for (const auto& [id, info] : s.phys) {
-      ids.push_back(id);
-      pts.push_back(info.pos);
-    }
+    // Local DT of {u} + P_u + C_u; N_u = u's neighbors in it. The desired
+    // input is collected as a sorted (id, pos, version) sequence -- u plus
+    // two already-sorted maps -- and diffed against dt_in, the multiset the
+    // live triangulation currently holds, so only changed points are
+    // touched: O(affected) instead of recompute-from-scratch.
+    struct DtInput {
+      NodeId id;
+      const Vec* pos;
+      std::uint64_t ver;
+    };
+    std::vector<DtInput> in;
+    in.reserve(1 + s.phys.size() + s.cand.size());
+    in.push_back({u, &s.pos, s.pos_version});
+    for (const auto& [id, info] : s.phys) in.push_back({id, &info.pos, info.pos_version});
     for (const auto& [id, c] : s.cand) {
       if (s.phys.count(id)) continue;
-      ids.push_back(id);
-      pts.push_back(c.pos);
+      in.push_back({id, &c.pos, c.pos_version});
     }
+    std::sort(in.begin(), in.end(),
+              [](const DtInput& a, const DtInput& b) { return a.id < b.id; });
+
+    const bool full = config_.dt_maintenance == MdtConfig::DtMaintenance::kFullRebuild;
+    if (!s.dyn) s.dyn = std::make_unique<geom::DynamicDelaunay>(s.pos.dim());
+    if (full || s.dt_in.empty()) {
+      std::vector<std::pair<geom::DynamicDelaunay::Key, Vec>> pts;
+      pts.reserve(in.size());
+      for (const DtInput& e : in) pts.emplace_back(e.id, *e.pos);
+      s.dyn->assign(pts);
+    } else {
+      // Two-pointer diff of sorted (id, version) sequences: ids present only
+      // in dt_in are removed, ids present only in `in` are inserted, and a
+      // version bump on a shared id is a point move. The collected diff is
+      // applied as one batch so DynamicDelaunay can coalesce moves that fail
+      // their early-out certificate into a single rebuild.
+      std::vector<geom::DynamicDelaunay::Key> removes;
+      std::vector<std::pair<geom::DynamicDelaunay::Key, Vec>> inserts;
+      std::vector<std::pair<geom::DynamicDelaunay::Key, Vec>> moves;
+      auto old_it = s.dt_in.begin();
+      auto new_it = in.begin();
+      while (old_it != s.dt_in.end() || new_it != in.end()) {
+        if (new_it == in.end() || (old_it != s.dt_in.end() && old_it->first < new_it->id)) {
+          removes.push_back(old_it->first);
+          ++old_it;
+        } else if (old_it == s.dt_in.end() || new_it->id < old_it->first) {
+          inserts.emplace_back(new_it->id, *new_it->pos);
+          ++new_it;
+        } else {
+          if (old_it->second != new_it->ver) moves.emplace_back(new_it->id, *new_it->pos);
+          ++old_it;
+          ++new_it;
+        }
+      }
+      s.dyn->apply_diff(removes, inserts, moves);
+    }
+    s.dt_in.clear();
+    s.dt_in.reserve(in.size());
+    for (const DtInput& e : in) s.dt_in.emplace_back(e.id, e.ver);  // `in` is id-sorted
 
     s.dt_nbrs.clear();
-    if (ids.size() >= 2) {
-      const geom::DelaunayGraph dt = geom::delaunay_graph(pts);
-      for (int v : dt.nbrs[0]) s.dt_nbrs.push_back(ids[static_cast<std::size_t>(v)]);
-      std::sort(s.dt_nbrs.begin(), s.dt_nbrs.end());
+    if (in.size() >= 2) {
+      for (geom::DynamicDelaunay::Key k : s.dyn->neighbors(u))
+        s.dt_nbrs.push_back(static_cast<NodeId>(k));
+      // DynamicDelaunay::neighbors returns sorted keys already.
     }
 
     constexpr std::size_t kDtCacheEntries = 4;

@@ -21,11 +21,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "geom/dynamic_delaunay.hpp"
 #include "mdt/failure_detector.hpp"
 #include "mdt/messages.hpp"
 #include "sim/netsim.hpp"
@@ -61,6 +63,14 @@ struct MdtConfig {
   // maintenance round -- the mechanism behind churn recovery (Sec. IV-H).
   double neighbor_stale_s = 45.0;
   double recompute_delay_s = 0.7;  // coalescing delay for local DT recomputes
+  // Local-DT maintenance strategy. kIncremental (default) keeps one live
+  // triangulation per node and applies only the diff of the input multiset
+  // {(id, pos_version)} since the last recompute -- O(affected) point
+  // inserts/removes/moves. kFullRebuild re-triangulates from scratch on
+  // every memoization miss; it is the oracle the incremental path is pinned
+  // against (mdt_fuzz_test), the same pattern as kAllPairs/kLinearScan.
+  enum class DtMaintenance { kIncremental, kFullRebuild };
+  DtMaintenance dt_maintenance = DtMaintenance::kIncremental;
   // Robustness: when a maintenance round observes that N_u changed since the
   // previous round (churn, partition healing, large position shifts), one
   // follow-up neighbor-set sync fires after this delay, still inside the
@@ -195,6 +205,10 @@ class MdtOverlay {
     return total;
   }
 
+  // Incremental-maintenance counters summed over every node's live DT
+  // instance plus instances retired by deactivation. Exported as mdt.dt.*.
+  geom::DynamicDtStats dt_stats() const;
+
   // Failure-detector / incarnation-reconciliation counters.
   struct FdStats {
     std::uint64_t heartbeats_sent = 0;
@@ -279,6 +293,15 @@ class MdtOverlay {
     };
     std::vector<DtCacheEntry> dt_cache;
     std::uint64_t dt_cache_clock = 0;
+    // Incremental local-DT state: one live triangulation over {u} + P_u +
+    // C_u and the (id, pos_version) multiset it currently holds, so a memo
+    // miss applies only the diff. Reset with the rest of the NodeState on
+    // deactivation (counters are folded into dt_retired_ first).
+    std::unique_ptr<geom::DynamicDelaunay> dyn;
+    // (id, pos_version) the live DT holds, sorted by id: rebuilt by a linear
+    // append each recompute and consumed by a two-pointer diff, so a flat
+    // vector replaces the former std::map without changing iteration order.
+    std::vector<std::pair<NodeId, std::uint64_t>> dt_in;
     bool resync_scheduled = false;
     bool recompute_scheduled = false;
     sim::Time last_join_attempt = -1e18;  // rate limit for join retries
@@ -383,6 +406,9 @@ class MdtOverlay {
   std::vector<SyncStats> sync_stats_;
   std::vector<RecomputeStats> recompute_stats_;
   std::vector<FdStats> fd_stats_;
+  // Counters of DT instances destroyed by deactivate(); per-node slots so
+  // writes stay lane-local under the sharded engine.
+  std::vector<geom::DynamicDtStats> dt_retired_;
   std::vector<NodeState> states_;
   std::vector<Rng> rng_;
   std::vector<NodeId> empty_path_;

@@ -13,6 +13,8 @@ DistanceVector::DistanceVector(sim::NetSim<DvMsg>& net, const DvConfig& config)
       config_(config),
       tables_(static_cast<std::size_t>(net.size())),
       dirty_(static_cast<std::size_t>(net.size()), false),
+      changed_(static_cast<std::size_t>(net.size())),
+      stats_(static_cast<std::size_t>(net.size())),
       rng_(0xD57A7ull) {}
 
 void DistanceVector::start() {
@@ -34,6 +36,9 @@ void DistanceVector::advertise(NodeId u) {
     m.vector.emplace_back(dest, entry.cost);
   net_.for_each_alive_neighbor(u, [&](const graph::Edge& e) { net_.send(u, e.to, m); });
   dirty_[static_cast<std::size_t>(u)] = false;
+  changed_[static_cast<std::size_t>(u)].clear();  // the full table covers everything
+  ++stats_[static_cast<std::size_t>(u)].full_adverts;
+  stats_[static_cast<std::size_t>(u)].entries_full += m.vector.size();
   net_.simulator().schedule_in_node(u, config_.advertise_period_s, [this, u] { advertise(u); });
 }
 
@@ -43,12 +48,30 @@ void DistanceVector::schedule_triggered(NodeId u) {
   net_.simulator().schedule_in_node(u, config_.triggered_delay_s, [this, u] {
     if (!dirty_[static_cast<std::size_t>(u)] || !net_.alive(u)) return;
     // Triggered advertisement (does not reset the periodic timer chain; the
-    // duplicate periodic send is the protocol's normal redundancy).
+    // duplicate periodic send is the protocol's normal redundancy). With
+    // delta_updates only the entries that changed since the last
+    // advertisement are sent -- O(changed) instead of Theta(N); absence of a
+    // destination never carries meaning for the receiver, so the two message
+    // shapes are interchangeable on the wire.
     DvMsg m;
     m.origin = u;
-    for (const auto& [dest, entry] : tables_[static_cast<std::size_t>(u)])
-      m.vector.emplace_back(dest, entry.cost);
-    net_.for_each_alive_neighbor(u, [&](const graph::Edge& e) { net_.send(u, e.to, m); });
+    const auto& table = tables_[static_cast<std::size_t>(u)];
+    std::set<NodeId>& changed = changed_[static_cast<std::size_t>(u)];
+    if (config_.delta_updates) {
+      for (NodeId dest : changed) {
+        const auto it = table.find(dest);
+        if (it != table.end()) m.vector.emplace_back(dest, it->second.cost);
+      }
+      ++stats_[static_cast<std::size_t>(u)].delta_adverts;
+      stats_[static_cast<std::size_t>(u)].entries_delta += m.vector.size();
+    } else {
+      for (const auto& [dest, entry] : table) m.vector.emplace_back(dest, entry.cost);
+      ++stats_[static_cast<std::size_t>(u)].full_adverts;
+      stats_[static_cast<std::size_t>(u)].entries_full += m.vector.size();
+    }
+    changed.clear();
+    if (!m.vector.empty())
+      net_.for_each_alive_neighbor(u, [&](const graph::Edge& e) { net_.send(u, e.to, m); });
     dirty_[static_cast<std::size_t>(u)] = false;
   });
 }
@@ -67,6 +90,7 @@ void DistanceVector::on_message(NodeId to, NodeId from, const DvMsg& msg) {
         (it->second.next == from && candidate > it->second.cost + 1e-12)) {
       // Better path, or our current path through `from` got worse.
       table[dest] = Entry{candidate, from};
+      changed_[static_cast<std::size_t>(to)].insert(dest);
       changed = true;
     }
   }

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -31,6 +32,13 @@ struct DvMsg {
 struct DvConfig {
   double advertise_period_s = 5.0;  // periodic full-table advertisement
   double triggered_delay_s = 0.2;   // coalescing delay for triggered updates
+  // When true (default), triggered updates carry only the entries whose
+  // (cost, next hop) changed since the node last advertised, instead of the
+  // full Theta(N) table. The periodic advertisement stays full-table and
+  // doubles as anti-entropy, so a neighbor that missed a delta (fresh link,
+  // reboot) converges within one period -- the same guarantee as before.
+  // routing_test pins table equivalence between the two modes.
+  bool delta_updates = true;
 };
 
 class DistanceVector {
@@ -58,6 +66,26 @@ class DistanceVector {
   // Diagnostic for *static* topologies (O(N * E log N)).
   bool converged() const;
 
+  // Update-traffic counters, summed over nodes. entries_* measure the
+  // advertised (dest, cost) pairs -- the Theta(N)-vs-O(changed) message-size
+  // trade delta_updates buys.
+  struct DvStats {
+    std::uint64_t full_adverts = 0;
+    std::uint64_t delta_adverts = 0;
+    std::uint64_t entries_full = 0;
+    std::uint64_t entries_delta = 0;
+  };
+  DvStats dv_stats() const {
+    DvStats total;
+    for (const DvStats& s : stats_) {
+      total.full_adverts += s.full_adverts;
+      total.delta_adverts += s.delta_adverts;
+      total.entries_full += s.entries_full;
+      total.entries_delta += s.entries_delta;
+    }
+    return total;
+  }
+
  private:
   struct Entry {
     double cost = 0.0;
@@ -72,6 +100,11 @@ class DistanceVector {
   DvConfig config_;
   std::vector<std::map<NodeId, Entry>> tables_;
   std::vector<bool> dirty_;
+  // Destinations whose entry changed since this node's last advertisement;
+  // a triggered delta update floods exactly these. Cleared by every
+  // advertisement (a full table trivially covers the set).
+  std::vector<std::set<NodeId>> changed_;
+  std::vector<DvStats> stats_;  // per-node slots: writes stay lane-local
   Rng rng_;
 };
 

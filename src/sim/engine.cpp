@@ -65,9 +65,19 @@ struct Simulator::Sharded {
     std::function<void()> fn;
   };
 
+  // Pooled per-source-lane buffer of cross-lane schedules: cleared (capacity
+  // kept) at every barrier, so appends stop allocating once the workload's
+  // per-window fan-out peaks. Each lane writes only its own counters inside
+  // a window -- no races.
+  struct Outbox {
+    std::vector<Pending> buf;
+    std::uint64_t grows = 0;  // reallocations caused by push_back
+    std::uint64_t peak = 0;   // largest single-window size
+  };
+
   std::vector<int> shard_of;             // node -> shard (lane = shard + 1)
   std::vector<Lane> lanes;               // node lanes; lanes[i] is lane i+1
-  std::vector<std::vector<Pending>> outbox;  // per source node lane
+  std::vector<Outbox> outbox;            // per source node lane
   std::vector<obs::TraceSink> sinks;     // per-lane trace buffers
   WorkerPool pool;
 
@@ -76,7 +86,12 @@ struct Simulator::Sharded {
         lanes(static_cast<std::size_t>(shards)),
         outbox(static_cast<std::size_t>(shards)),
         sinks(static_cast<std::size_t>(shards)),
-        pool(threads) {}
+        pool(threads) {
+    // Warm start: one cache-page worth of slots per lane keeps typical
+    // control-plane scenarios from logging the first few doublings as
+    // growth in every run.
+    for (Outbox& b : outbox) b.buf.reserve(64);
+  }
 };
 
 Simulator::Simulator() = default;
@@ -142,8 +157,10 @@ Simulator::EventId Simulator::sharded_schedule(int lane, Time at,
   // Cross-lane from inside a window: buffer until the barrier. These are
   // fire-and-forget (message deliveries); the id cannot be handed out before
   // the merge, so they are not cancelable.
-  sh.outbox[static_cast<std::size_t>(cl - 1)].push_back(
-      {lane, at, std::move(fn)});
+  Sharded::Outbox& box = sh.outbox[static_cast<std::size_t>(cl - 1)];
+  if (box.buf.size() == box.buf.capacity()) ++box.grows;
+  box.buf.push_back({lane, at, std::move(fn)});
+  box.peak = std::max<std::uint64_t>(box.peak, box.buf.size());
   return kInvalidEvent;
 }
 
@@ -204,7 +221,7 @@ void Simulator::sharded_run_until(Time t) {
     // Barrier: merge outboxes and trace buffers in lane order. Both merges
     // depend only on the partition and the scenario, not the thread count.
     for (int i = 0; i < nlanes; ++i) {
-      auto& box = sh.outbox[static_cast<std::size_t>(i)];
+      auto& box = sh.outbox[static_cast<std::size_t>(i)].buf;
       for (Sharded::Pending& p : box) {
         if (p.lane == kGlobalLane) {
           // No lookahead guarantee toward the global lane: run it as soon
@@ -240,6 +257,16 @@ void Simulator::run_lane(Lane& ln, Time cap) {
     fn();
   }
   ln.now = cap;
+}
+
+Simulator::ShardedStats Simulator::sharded_stats() const {
+  ShardedStats s;
+  if (!sharded_) return s;
+  for (const Sharded::Outbox& b : sharded_->outbox) {
+    s.outbox_grows += b.grows;
+    s.outbox_peak = std::max(s.outbox_peak, b.peak);
+  }
+  return s;
 }
 
 std::size_t Simulator::sharded_live() const {

@@ -196,6 +196,17 @@ class Simulator {
   // must track peak pending, not total events scheduled).
   std::size_t slot_capacity() const;
 
+  // Sharded-engine allocation counters (zeros on the serial engine). The
+  // per-lane outboxes are pooled: clear() at the barrier keeps capacity, so
+  // `outbox_grows` -- buffer reallocations while appending -- must stop
+  // increasing once a workload reaches steady state (pinned in
+  // sharded_engine_test).
+  struct ShardedStats {
+    std::uint64_t outbox_grows = 0;
+    std::uint64_t outbox_peak = 0;  // max cross-lane messages buffered by one lane in one window
+  };
+  ShardedStats sharded_stats() const;
+
   // Runs one event; returns false if the queue is empty. Serial engine only
   // (the sharded engine advances in windows, not single events).
   bool step() {

@@ -15,9 +15,9 @@ struct Fixture {
   std::unique_ptr<sim::NetSim<DvMsg>> net;
   std::unique_ptr<DistanceVector> dv;
 
-  explicit Fixture(graph::Graph graph) : g(std::move(graph)) {
+  explicit Fixture(graph::Graph graph, const DvConfig& cfg = {}) : g(std::move(graph)) {
     net = std::make_unique<sim::NetSim<DvMsg>>(sim, g, 0.001, 0.01, 7);
-    dv = std::make_unique<DistanceVector>(*net);
+    dv = std::make_unique<DistanceVector>(*net, cfg);
     dv->start();
   }
 
@@ -114,6 +114,51 @@ TEST(DistanceVector, MessageCostGrowsWithN) {
   };
   // Entries shipped grow super-linearly in N.
   EXPECT_GT(messages_per_node(80), 1.8 * messages_per_node(40));
+}
+
+TEST(DistanceVector, DeltaUpdatesMatchFullUpdates) {
+  // Equivalence pin for delta triggered updates: both modes converge to the
+  // same cost table (entrywise, 1e-9). Next hops are checked for cost
+  // consistency rather than exact equality -- ties inside the update
+  // tolerance can resolve to different but equally cheap hops depending on
+  // message arrival order.
+  for (std::uint64_t seed : {5u, 12u}) {
+    radio::TopologyConfig tc;
+    tc.n = 55;
+    tc.seed = seed;
+    tc.target_avg_degree = 14.5;
+    const radio::Topology topo = radio::make_random_topology(tc);
+    DvConfig full_cfg;
+    full_cfg.delta_updates = false;
+    DvConfig delta_cfg;
+    delta_cfg.delta_updates = true;
+    Fixture full(topo.etx, full_cfg);
+    Fixture delta(topo.etx, delta_cfg);
+    full.settle(90.0);
+    delta.settle(90.0);
+    EXPECT_TRUE(full.dv->converged()) << "seed=" << seed;
+    EXPECT_TRUE(delta.dv->converged()) << "seed=" << seed;
+    for (int u = 0; u < topo.size(); ++u) {
+      for (int t = 0; t < topo.size(); ++t) {
+        ASSERT_NEAR(full.dv->cost(u, t), delta.dv->cost(u, t), 1e-9)
+            << "seed=" << seed << " u=" << u << " t=" << t;
+        if (u == t) continue;
+        const NodeId next = delta.dv->next_hop(u, t);
+        ASSERT_GE(next, 0);
+        ASSERT_NEAR(delta.dv->cost(u, t),
+                    delta.net->link_cost(u, next) + delta.dv->cost(next, t), 1e-9)
+            << "seed=" << seed << " u=" << u << " t=" << t << " next=" << next;
+      }
+    }
+    // The point of the exercise: triggered deltas fire and ship fewer
+    // entries overall than full-table triggered updates did.
+    const auto sf = full.dv->dv_stats();
+    const auto sd = delta.dv->dv_stats();
+    EXPECT_GT(sd.delta_adverts, 0u);
+    EXPECT_EQ(sf.delta_adverts, 0u);
+    EXPECT_LT(sd.entries_delta + sd.entries_full, sf.entries_full)
+        << "seed=" << seed;
+  }
 }
 
 TEST(DistanceVector, UnreachableStaysInf) {

@@ -6,6 +6,7 @@
 
 #include "eval/protocol_runner.hpp"
 #include "eval/routing_eval.hpp"
+#include "obs/metrics.hpp"
 #include "radio/topology.hpp"
 
 namespace gdvr::eval {
@@ -142,6 +143,26 @@ TEST(Runner, AvgStorageIsPositiveAndBounded) {
   const double storage = runner.avg_storage();
   EXPECT_GT(storage, 5.0);
   EXPECT_LT(storage, static_cast<double>(topo.size()));
+}
+
+TEST(Runner, ExportsIncrementalDtCounters) {
+  const radio::Topology topo = dense_topo(50, 12);
+  vpod::VpodConfig vc;
+  vc.dim = 3;
+  VpodRunner runner(topo, false, vc);
+  runner.run_to_period(2);
+  obs::Registry reg;
+  runner.export_metrics(reg);
+  // Construction on a 50-node topology must have exercised the incremental
+  // path: every node's first recompute assigns, later ones insert/remove as
+  // candidates churn. Early-outs/full rebuilds may legitimately be zero.
+  EXPECT_GT(reg.counter("mdt.dt.inserts").value(), 0u);
+  EXPECT_GT(reg.counter("mdt.dt.removes").value(), 0u);
+  const auto dt = runner.protocol().overlay().dt_stats();
+  EXPECT_EQ(reg.counter("mdt.dt.inserts").value(), dt.inserts);
+  EXPECT_EQ(reg.counter("mdt.dt.moves").value(), dt.moves);
+  EXPECT_EQ(reg.counter("mdt.dt.full_rebuilds").value(), dt.full_rebuilds);
+  EXPECT_EQ(reg.counter("mdt.dt.walk_fallbacks").value(), dt.walk_fallbacks);
 }
 
 TEST(AliveNodes, FiltersMask) {

@@ -182,7 +182,7 @@ TEST(GoldenTrace, DistanceVectorControlSchedule) {
   EXPECT_TRUE(r.converged);
   EXPECT_GT(r.control, 100) << "DV advertisement schedule shrank unexpectedly";
   EXPECT_EQ(r.packets, 10u);
-  EXPECT_EQ(r.digest, "a9b03425e4653eab")
+  EXPECT_EQ(r.digest, "b58ca2aab9081ed9")
       << "golden trace changed; if the behavior change is intended, pin the "
       << "new digest printed above";
 }
@@ -202,7 +202,7 @@ TEST(GoldenTrace, ShardedEngineThreadCountInvariant) {
   const DvControlRun four = run_dv_control(/*sharded=*/true, /*threads=*/4);
 
   EXPECT_EQ(one.digest, four.digest) << "sharded trace depends on thread count";
-  EXPECT_EQ(one.digest, "73308a11a5ec6c8d")
+  EXPECT_EQ(one.digest, "d384fbfd8eb541f9")
       << "sharded golden trace changed; if the behavior change is intended, "
       << "pin the new digest printed above";
 

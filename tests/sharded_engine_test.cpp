@@ -312,6 +312,26 @@ TEST(ShardedEngine, ThreadCountInvariantMetrics) {
   expect_counters_equal(one, four);
 }
 
+// The per-lane outboxes are pooled buffers: once the protocol's per-window
+// cross-lane fan-out has peaked (construction join storms), further windows
+// must reuse the retained capacity -- zero reallocations in steady state.
+TEST(ShardedEngine, OutboxPoolingIsSteadyStateAllocationFree) {
+  const radio::Topology topo = small_topo(60, 17);
+  EnvVar engine("GDVR_SIM_ENGINE", "sharded");
+  EnvVar shards("GDVR_SIM_SHARDS", "4");
+  EnvVar threads("GDVR_THREADS", "2");
+  vpod::VpodConfig vc;
+  vc.dim = 3;
+  eval::VpodRunner runner(topo, /*use_etx=*/false, vc, {}, 17);
+  runner.run_to_period(2);  // warmup: construction traffic sets the peak
+  const sim::Simulator::ShardedStats warm = runner.simulator().sharded_stats();
+  EXPECT_GT(warm.outbox_peak, 0u) << "scenario produced no cross-lane messages";
+  runner.run_to_period(4);  // steady state: maintenance rounds only
+  const sim::Simulator::ShardedStats steady = runner.simulator().sharded_stats();
+  EXPECT_EQ(steady.outbox_grows, warm.outbox_grows)
+      << "outbox buffers reallocated after warmup";
+}
+
 // Half 2: the serial engine is the behavioral oracle. Same scenario, same
 // seed: every per-node observable -- NetSim counters, adjustment counts,
 // storage -- matches the sharded engine exactly.
