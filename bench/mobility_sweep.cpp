@@ -1,0 +1,168 @@
+// Incremental local-DT maintenance under continuous mobility: how far can
+// nodes move per adjustment period before DynamicDelaunay::apply_diff stops
+// beating a from-scratch rebuild?
+//
+// The knob is the ratio of per-step displacement to the mean
+// nearest-neighbor spacing (0.5 / sqrt(density) for a Poisson placement).
+// Two workload shapes run per ratio:
+//
+//  * sparse -- a 20% mobile subset roams among static nodes (sensors with a
+//    few vehicles, the delta-path steady state). The diff is small, so the
+//    incremental path is O(affected) and wins big until rising decline
+//    rates drag in per-point repairs.
+//  * dense  -- every node moves every step (continuous swarm). The
+//    certificate sweep alone costs a sizable fraction of a rebuild, so the
+//    speedup is structurally modest and apply_diff's internal cost model is
+//    expected to collapse onto the rebuild as the ratio grows.
+//
+// The headline number is the sparse 2x crossing: the ratio where the
+// incremental speedup over the from-scratch oracle drops below 2x, recorded
+// in EXPERIMENTS.md.
+//
+//   build/bench/mobility_sweep            # quick: n=250, 40 timed steps
+//   build/bench/mobility_sweep --full     # n=600, 80 timed steps
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "geom/dynamic_delaunay.hpp"
+#include "scenario/mobility.hpp"
+
+namespace gdvr::bench {
+namespace {
+
+using geom::DynamicDelaunay;
+using Key = DynamicDelaunay::Key;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct SweepPoint {
+  double incremental_s = 0.0;
+  double rebuild_s = 0.0;
+  double early_out_rate = 0.0;
+  double rebuild_rate = 0.0;  // fraction of steps apply_diff chose to rebuild
+  double speedup() const {
+    return incremental_s > 0.0 ? rebuild_s / incremental_s : 0.0;
+  }
+};
+
+SweepPoint run_ratio(double ratio, int n, double mobile_fraction, int steps,
+                     std::uint64_t seed) {
+  const int mobile = std::max(2, static_cast<int>(std::lround(n * mobile_fraction)));
+  // One box for the whole population, sized for n nodes at the paper's
+  // density; the driver only owns the mobile subset but roams the full box.
+  const double side = 100.0 * std::sqrt(static_cast<double>(n) / 200.0);
+  scenario::MobilityConfig mc;
+  mc.n = mobile;
+  mc.seed = seed;
+  mc.width_m = side;
+  mc.height_m = side;
+  // Constant speed, no dwell: per-step displacement is exactly speed * dt
+  // (clipped at waypoints), so dt alone sets the step/spacing ratio.
+  mc.speed_min_mps = 1.0;
+  mc.speed_max_mps = 1.0;
+  mc.pause_s = 0.0;
+  scenario::MobilityDriver driver(mc);
+  const double nn_spacing = 0.5 * side / std::sqrt(static_cast<double>(n));
+  const double dt = ratio * nn_spacing;
+
+  std::vector<std::pair<Key, Vec>> init;
+  init.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < mobile; ++i)
+    init.emplace_back(i, driver.positions()[static_cast<std::size_t>(i)]);
+  Rng statics(seed ^ 0x5747A71Cull);
+  for (int i = mobile; i < n; ++i)
+    init.emplace_back(i, Vec{statics.uniform(0.0, side), statics.uniform(0.0, side)});
+
+  DynamicDelaunay dyn(2);
+  dyn.assign(init);
+
+  SweepPoint out;
+  std::vector<std::pair<Key, Vec>> moves;
+  std::vector<std::pair<Key, Vec>> all;
+  all = init;
+  // Warmup: apply_diff's predictive skip opens in rebuild-biased state (its
+  // trailing early-out estimate starts at 0.5, decays by 3/4 per probe, and
+  // re-probes only every 8th skipped batch), so a calm workload needs about
+  // five probes -- forty batches -- before the incremental path re-enables.
+  // Steady state, the thing worth measuring, starts after that.
+  const int warmup = 64;
+  for (int s = 0; s < warmup; ++s) {
+    driver.step(dt);
+    moves.clear();
+    for (int i : driver.moved())
+      moves.emplace_back(i, driver.positions()[static_cast<std::size_t>(i)]);
+    dyn.apply_diff({}, {}, moves);
+  }
+  const auto base = dyn.stats();
+  for (int s = 0; s < steps; ++s) {
+    driver.step(dt);
+    moves.clear();
+    for (int i : driver.moved())
+      moves.emplace_back(i, driver.positions()[static_cast<std::size_t>(i)]);
+
+    const auto t0 = Clock::now();
+    dyn.apply_diff({}, {}, moves);
+    out.incremental_s += seconds_since(t0);
+
+    // The oracle pays a full from-scratch build over the same positions.
+    // A fresh instance per step keeps it honest (no internal state carries
+    // over), exactly the expect_matches_oracle contract from geom_test.
+    for (int i = 0; i < mobile; ++i)
+      all[static_cast<std::size_t>(i)].second = driver.positions()[static_cast<std::size_t>(i)];
+    DynamicDelaunay oracle(2);
+    const auto t1 = Clock::now();
+    oracle.assign(all);
+    out.rebuild_s += seconds_since(t1);
+  }
+  const auto st = dyn.stats();
+  const auto attempted = st.moves - base.moves;
+  if (attempted > 0)
+    out.early_out_rate = static_cast<double>(st.move_early_outs - base.move_early_outs) /
+                         static_cast<double>(attempted);
+  out.rebuild_rate =
+      static_cast<double>(st.full_rebuilds - base.full_rebuilds) / static_cast<double>(steps);
+  return out;
+}
+
+}  // namespace
+}  // namespace gdvr::bench
+
+int main(int argc, char** argv) {
+  using namespace gdvr::bench;
+  const bool full = full_mode(argc, argv);
+  const int n = full ? 600 : 250;
+  const int steps = full ? 80 : 40;
+
+  const std::vector<double> ratios = {0.005, 0.01, 0.02, 0.05, 0.10, 0.20, 0.35};
+  Series s_inc{"sparse_inc_ms", {}}, s_reb{"sparse_rebuild_ms", {}}, s_sp{"sparse_speedup", {}},
+      s_eo{"sparse_eo_rate", {}}, d_sp{"dense_speedup", {}}, d_rr{"dense_rebuild_rate", {}};
+  double crossing = -1.0;
+  for (double ratio : ratios) {
+    const SweepPoint sparse = run_ratio(ratio, n, 0.2, steps, /*seed=*/42);
+    const SweepPoint dense = run_ratio(ratio, n, 1.0, steps, /*seed=*/42);
+    s_inc.values.push_back(sparse.incremental_s * 1e3);
+    s_reb.values.push_back(sparse.rebuild_s * 1e3);
+    s_sp.values.push_back(sparse.speedup());
+    s_eo.values.push_back(sparse.early_out_rate);
+    d_sp.values.push_back(dense.speedup());
+    d_rr.values.push_back(dense.rebuild_rate);
+    if (crossing < 0.0 && sparse.speedup() < 2.0) crossing = ratio;
+  }
+  print_table("incremental DT vs full rebuild under random-waypoint mobility",
+              "step/nn-spacing", ratios, {s_inc, s_reb, s_sp, s_eo, d_sp, d_rr});
+  if (crossing >= 0.0)
+    std::printf("\n2x crossing (sparse, 20%% mobile): speedup drops below 2 at "
+                "step/nn-spacing ~%g (n=%d)\n",
+                crossing, n);
+  else
+    std::printf("\n2x crossing (sparse, 20%% mobile): not reached; incremental stays >=2x "
+                "up to ratio %g (n=%d)\n",
+                ratios.back(), n);
+  return 0;
+}

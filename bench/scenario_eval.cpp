@@ -1,0 +1,162 @@
+// Scenario-parameterized routing quality: delivery rate and stretch for each
+// workload generator x routing protocol, reported through the standard
+// metric-registry export path. This is the numbers-producing companion of
+// tests/scenario_matrix_test.cpp: the matrix pins invariants, this bench
+// prints the table EXPERIMENTS.md records (and, with GDVR_METRICS_OUT set,
+// dumps every cell as "scenario.<name>.<proto>.{delivery_rate,stretch,...}"
+// gauges to JSON/CSV).
+//
+//   build/bench/scenario_eval             # quick: small instances
+//   build/bench/scenario_eval --full      # paper-scale instances
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include "common.hpp"
+#include "routing/routers.hpp"
+#include "scenario/scenario.hpp"
+
+namespace gdvr::bench {
+namespace {
+
+struct ProtoDef {
+  const char* name;
+  eval::RouteFn (*make)(const routing::MdtView&, const routing::PlanarGraph&,
+                        const radio::Topology&);
+};
+
+eval::RouteFn make_gdv(const routing::MdtView& view, const routing::PlanarGraph&,
+                       const radio::Topology&) {
+  return [&view](int s, int t) { return routing::route_gdv(view, s, t); };
+}
+
+eval::RouteFn make_mdt(const routing::MdtView& view, const routing::PlanarGraph&,
+                       const radio::Topology&) {
+  return [&view](int s, int t) { return routing::route_mdt_greedy(view, s, t); };
+}
+
+eval::RouteFn make_gpsr(const routing::MdtView&, const routing::PlanarGraph& planar,
+                        const radio::Topology& topo) {
+  return [&planar, &topo](int s, int t) {
+    return routing::route_gpsr(topo.positions, topo.hops, planar, s, t);
+  };
+}
+
+constexpr ProtoDef kProtos[] = {
+    {"gdv", make_gdv}, {"mdt_greedy", make_mdt}, {"gpsr", make_gpsr}};
+
+// RoutingStats defaults success_rate to 1.0, so accumulate in plain zeroed
+// fields instead of a RoutingStats.
+struct CellAccum {
+  double delivery = 0.0;
+  double stretch = 0.0;
+  int pairs = 0;
+  int rounds = 0;
+};
+
+void run_scenario(scenario::Scenario& sc, int pair_samples, obs::Registry& reg,
+                  std::vector<Series>& delivery, std::vector<Series>& stretch) {
+  CellAccum cells[std::size(kProtos)];
+  for (int k = 0; k < sc.rounds(); ++k) {
+    const scenario::Round round = sc.round(k);
+    const radio::Topology& topo = round.topo;
+    const routing::MdtView view = routing::centralized_mdt(topo.positions, topo.etx);
+    const routing::PlanarGraph planar(topo.positions, topo.hops);
+    std::vector<int> ids(static_cast<std::size_t>(topo.size()));
+    for (int i = 0; i < topo.size(); ++i) ids[static_cast<std::size_t>(i)] = i;
+    const auto pairs = eval::sample_pairs(ids, pair_samples, 1000u + static_cast<std::uint64_t>(k));
+    for (std::size_t p = 0; p < std::size(kProtos); ++p) {
+      const eval::RouteFn fn = kProtos[p].make(view, planar, topo);
+      const eval::RoutingStats st =
+          eval::evaluate_router(fn, topo.etx, topo.hops, /*use_etx=*/false, pairs);
+      cells[p].delivery += st.success_rate;
+      cells[p].stretch += st.stretch;
+      cells[p].pairs += st.pairs_evaluated;
+      ++cells[p].rounds;
+    }
+  }
+  for (std::size_t p = 0; p < std::size(kProtos); ++p) {
+    eval::RoutingStats avg;
+    avg.pairs_evaluated = cells[p].pairs;
+    if (cells[p].rounds > 0) {
+      avg.success_rate = cells[p].delivery / cells[p].rounds;
+      avg.stretch = cells[p].stretch / cells[p].rounds;
+    }
+    eval::export_routing_stats(reg, "scenario." + sc.name() + "." + kProtos[p].name, avg);
+    delivery[p].values.push_back(avg.success_rate);
+    stretch[p].values.push_back(avg.stretch);
+  }
+}
+
+}  // namespace
+}  // namespace gdvr::bench
+
+int main(int argc, char** argv) {
+  using namespace gdvr::bench;
+  const bool full = full_mode(argc, argv);
+  const int pair_samples = full ? 400 : 100;
+
+  std::vector<std::unique_ptr<gdvr::scenario::Scenario>> scenarios;
+  scenarios.push_back(gdvr::scenario::unit_square_scenario(full ? 200 : 80, 7, full ? 3 : 1));
+  {
+    gdvr::scenario::GeoWanConfig gw;
+    gw.n = full ? 220 : 110;
+    gw.seed = 11;
+    scenarios.push_back(gdvr::scenario::geo_wan_scenario(gw, full ? 3 : 1));
+  }
+  {
+    gdvr::scenario::MobilityScenarioConfig mc;
+    mc.mobility.n = full ? 160 : 70;
+    mc.mobility.seed = 3;
+    mc.rounds = full ? 6 : 3;
+    scenarios.push_back(gdvr::scenario::mobility_scenario(mc));
+  }
+  {
+    gdvr::scenario::MobilityScenarioConfig mc;
+    mc.mobility.model = gdvr::scenario::MobilityConfig::Model::kGroup;
+    mc.mobility.n = full ? 160 : 70;
+    mc.mobility.seed = 5;
+    mc.rounds = full ? 6 : 3;
+    scenarios.push_back(gdvr::scenario::mobility_scenario(mc));
+  }
+  {
+    gdvr::scenario::FlashCrowdScenarioConfig fc;
+    fc.n = full ? 240 : 120;
+    fc.seed = 9;
+    scenarios.push_back(gdvr::scenario::flash_crowd_scenario(fc));
+  }
+
+  gdvr::obs::Registry reg;
+  std::vector<Series> delivery, stretch;
+  for (const auto& p : kProtos) {
+    delivery.push_back({p.name, {}});
+    stretch.push_back({p.name, {}});
+  }
+  std::vector<double> xs;
+  std::printf("scenarios:");
+  for (auto& sc : scenarios) {
+    std::printf(" %s", sc->name().c_str());
+    xs.push_back(static_cast<double>(xs.size()));
+    run_scenario(*sc, pair_samples, reg, delivery, stretch);
+  }
+  std::printf("\n(x column is the scenario index in that order)\n");
+  print_table("delivery rate per scenario x protocol", "scenario#", xs, delivery);
+  print_table("hop stretch per scenario x protocol (delivered pairs)", "scenario#", xs, stretch);
+
+  if (const char* path = std::getenv("GDVR_METRICS_OUT"); path != nullptr && path[0] != '\0') {
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "warning: cannot open GDVR_METRICS_OUT=%s\n", path);
+    } else {
+      const std::string target = path;
+      const bool csv =
+          target.size() >= 4 && target.compare(target.size() - 4, 4, ".csv") == 0;
+      if (csv)
+        reg.write_csv(os);
+      else
+        reg.write_json(os);
+    }
+  }
+  return 0;
+}

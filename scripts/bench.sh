@@ -100,11 +100,14 @@ def load(p):
 base, cand = load(base_path), load(cand_path)
 
 regressed = []
+new_names = []
 print(f"\n{'benchmark':<42} {'base':>12} {'now':>12} {'ratio':>7}")
 for name, c in cand.items():
     b = base.get(name)
     if b is None:
-        print(f"{name:<42} {'--':>12} {c['cpu_time']:>12.0f}   (new)")
+        # Benchmarks added since the snapshot have nothing to compare
+        # against; summarized in one line below instead of flag rows.
+        new_names.append(name)
         continue
     ratio = c["cpu_time"] / b["cpu_time"] if b["cpu_time"] > 0 else float("inf")
     flag = ""
@@ -115,6 +118,11 @@ for name, c in cand.items():
 for name in base:
     if name not in cand:
         print(f"{name:<42}   (missing from this run)")
+if new_names:
+    shown = ", ".join(sorted(new_names)[:6])
+    more = f" (+{len(new_names) - 6} more)" if len(new_names) > 6 else ""
+    print(f"{len(new_names)} benchmark(s) not in the baseline snapshot "
+          f"(no comparison): {shown}{more}")
 
 if regressed:
     print(f"\n{len(regressed)} benchmark(s) regressed more than "

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Full local gate: fast tier-1 tests first, then the chaos suite, then an
-# ASan/UBSan pass over the whole test suite in separate build trees.
+# Full local gate: fast tier-1 tests first (plus the scenario-matrix smoke
+# subset), then the chaos suite, then an ASan/UBSan pass over the whole test
+# suite in separate build trees. The full protocol x scenario matrix
+# (ctest -L scenario) runs in --release.
 #
-#   scripts/check.sh            # tier-1 + chaos + both sanitizers
-#   scripts/check.sh --quick    # tier-1 only (what CI runs on every push)
+#   scripts/check.sh            # tier-1 + scenario smoke + chaos + sanitizers
+#   scripts/check.sh --quick    # tier-1 + scenario smoke (CI on every push)
 #   scripts/check.sh --release  # tier-1 in a Release tree + benchmark compare
 #                               # against BENCH_core.json, so optimization-
 #                               # level-only bugs and perf regressions surface
@@ -39,7 +41,11 @@ configure_and_build() {
 if [[ "$RELEASE" == 1 ]]; then
   echo "== tier-1 (Release build) =="
   configure_and_build build-rel -DCMAKE_BUILD_TYPE=Release
-  ctest --test-dir build-rel -LE chaos --output-on-failure -j "$JOBS"
+  ctest --test-dir build-rel -LE 'chaos|scenario' --output-on-failure -j "$JOBS"
+  echo "== full scenario matrix (Release) =="
+  # Every protocol x every workload generator: invariants + thread/engine
+  # digest determinism. The default gate runs only the smoke subset.
+  ctest --test-dir build-rel -L scenario --output-on-failure -j "$JOBS"
   echo "== engine-sweep smoke (serial vs sharded, Release) =="
   # Drives the full VPoD protocol through the sharded engine and asserts
   # message-count equality against the serial oracle (the GDVR_ASSERTs in
@@ -55,8 +61,13 @@ fi
 
 echo "== tier-1 (plain build) =="
 configure_and_build build
-# Everything except the chaos label: the fast suite that must always pass.
-ctest --test-dir build -LE chaos --output-on-failure -j "$JOBS"
+# Everything except the chaos and scenario labels: the fast suite that must
+# always pass. The scenario matrix contributes its smoke subset here; the
+# full matrix runs in --release.
+ctest --test-dir build -LE 'chaos|scenario' --output-on-failure -j "$JOBS"
+
+echo "== scenario smoke (plain build) =="
+ctest --test-dir build -L scenario -R ScenarioMatrixSmoke --output-on-failure -j "$JOBS"
 
 if [[ "$QUICK" == 1 ]]; then
   echo "quick mode: skipping chaos + sanitizer passes"

@@ -30,6 +30,15 @@ std::vector<std::pair<int, int>> sample_pairs(const std::vector<int>& eligible, 
   return pairs;
 }
 
+void export_routing_stats(obs::Registry& reg, const std::string& prefix,
+                          const RoutingStats& stats) {
+  reg.gauge(prefix + ".delivery_rate").set(stats.success_rate);
+  reg.gauge(prefix + ".stretch").set(stats.stretch);
+  reg.gauge(prefix + ".transmissions").set(stats.transmissions);
+  reg.gauge(prefix + ".optimal_transmissions").set(stats.optimal_transmissions);
+  reg.gauge(prefix + ".pairs").set(static_cast<double>(stats.pairs_evaluated));
+}
+
 std::vector<int> alive_nodes(const routing::MdtView& view) {
   std::vector<int> ids;
   for (int u = 0; u < view.size(); ++u)

@@ -12,8 +12,11 @@
 #include <utility>
 #include <vector>
 
+#include <string>
+
 #include "common/rng.hpp"
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
 #include "radio/topology.hpp"
 #include "routing/routers.hpp"
 
@@ -26,6 +29,14 @@ struct RoutingStats {
   double success_rate = 1.0;
   int pairs_evaluated = 0;
 };
+
+// Publishes a RoutingStats into the metric registry as gauges named
+// "<prefix>.delivery_rate", "<prefix>.stretch", "<prefix>.transmissions",
+// "<prefix>.optimal_transmissions" and "<prefix>.pairs" -- the hook the
+// scenario matrix and scenario benches use to report per-scenario routing
+// quality through the standard export path (JSON/CSV, GDVR_METRICS_OUT).
+void export_routing_stats(obs::Registry& reg, const std::string& prefix,
+                          const RoutingStats& stats);
 
 // Deterministic sample of ordered (s, t) pairs among `eligible` nodes.
 // count <= 0 selects all ordered pairs.

@@ -767,22 +767,29 @@ Triangulation::MoveResult Triangulation::move_point(int v, const Vec& p, bool al
             // (the vertex opposite the shared facet) must stay outside our
             // updated circumsphere.
             const Cell& nc = cells_[static_cast<std::size_t>(nb)];
-            int apex = -1;
-            for (int i = 0; i <= dim_ && apex < 0; ++i) {
+            // v is on the shared facet, so it can never be the apex: use it
+            // as the not-yet-found sentinel. kInfinite (= -1) is a *valid*
+            // apex here and must stay distinguishable from "not found".
+            int apex = v;
+            for (int i = 0; i <= dim_ && apex == v; ++i) {
               const int w = nc.v[static_cast<std::size_t>(i)];
               bool on_facet = false;
               for (int j = 0; j <= dim_; ++j)
                 if (j != k && c.v[static_cast<std::size_t>(j)] == w) on_facet = true;
               if (!on_facet) apex = w;
             }
-            if (apex < 0 || apex == v) {
+            // An infinite apex means this facet is a hull facet of an
+            // infinite star cell; its conditions are the ridge-convexity
+            // checks run from that cell's side below. (Guarding this before
+            // the sanity decline is load-bearing: hull vertices would
+            // otherwise never certify, turning every hull move into a
+            // remove+reinsert -- or, on minimum-size complexes whose links
+            // are too small to remove from, a full rebuild.)
+            if (apex == kInfinite) continue;
+            if (apex == v) {  // inconsistent adjacency: don't trust the star
               early = false;
               break;
             }
-            // An infinite apex means this facet is a hull facet of an
-            // infinite star cell; its conditions are the ridge-convexity
-            // checks run from that cell's side below.
-            if (apex == kInfinite) continue;
             const double d2 =
                 pts_[static_cast<std::size_t>(apex)].distance2(star_centers_[si]);
             if (d2 < star_r2_[si]) early = false;

@@ -478,39 +478,13 @@ struct SpatialGrid {
   }
 };
 
-Topology generate(const TopologyConfig& config) {
-  GDVR_ASSERT(config.space_dim == 2 || config.space_dim == 3);
-  GDVR_ASSERT_MSG(config.space_dim == 2 || config.num_obstacles == 0,
-                  "obstacles are modeled in 2D only");
-  Rng rng(config.seed);
-  Topology topo;
-  topo.radio = config.radio;
-  topo.obstacles =
-      random_obstacles(config.num_obstacles, config.obstacle_size_m, config.width_m,
-                       config.height_m, rng);
-
-  // Place nodes uniformly, rejecting positions inside obstacles.
-  topo.positions.reserve(static_cast<std::size_t>(config.n));
-  Vec extent = config.space_dim == 2 ? Vec{config.width_m, config.height_m}
-                                     : Vec{config.width_m, config.height_m, config.depth_m};
-  for (int i = 0; i < config.n; ++i) {
-    Vec p;
-    for (int attempt = 0; attempt < 10000; ++attempt) {
-      p = rng.point_in_box(extent);
-      const bool inside = std::any_of(topo.obstacles.begin(), topo.obstacles.end(),
-                                      [&](const Obstacle& o) { return o.contains(p); });
-      if (!inside) break;
-    }
-    topo.positions.push_back(p);
-  }
-
-  // Per-node hardware variance (makes links asymmetric).
-  std::vector<NodeHardware> hw(static_cast<std::size_t>(config.n));
-  for (auto& h : hw) {
-    h.tx_offset_db = rng.normal(0.0, config.radio.tx_power_var_db);
-    h.noise_offset_db = rng.normal(0.0, config.radio.noise_var_db);
-  }
-
+// Link realization + graph assembly over already-placed positions. Shared by
+// generate() and make_topology_from_positions(): `topo` arrives with
+// positions/obstacles/radio set, and everything downstream keys off
+// topo.size(), so the same code serves config-placed and caller-placed nodes.
+void realize_and_assemble(const TopologyConfig& config, Topology& topo,
+                          const std::vector<NodeHardware>& hw, const Vec& extent) {
+  const int n = topo.size();
   // One symmetric shadowing sample and one nominal rate per pair, drawn from
   // the counter-based PairRng; asymmetry comes from the per-node hardware
   // offsets, as in the original link-layer simulator.
@@ -527,8 +501,8 @@ Topology generate(const TopologyConfig& config) {
     std::vector<PairDraw>& draws = scratch.draws;
     draws.clear();
     PairDraw rec;
-    for (int i = 0; i < config.n; ++i)
-      for (int j = i + 1; j < config.n; ++j)
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j)
         if (realizer.realize(i, j, rec)) draws.push_back(rec);
     parts.push_back(&draws);
   } else {
@@ -538,13 +512,13 @@ Topology generate(const TopologyConfig& config) {
     // so the admitted link list -- and with it every graph -- is identical
     // no matter how many workers ran the sweep.
     constexpr int kRowsPerChunk = 64;
-    const int chunks = (config.n + kRowsPerChunk - 1) / kRowsPerChunk;
+    const int chunks = (n + kRowsPerChunk - 1) / kRowsPerChunk;
     ParallelTrials pool;
     auto result = pool.run(chunks, [&](int c) {
       std::vector<PairDraw> out;
       PairDraw rec;
       const int lo = c * kRowsPerChunk;
-      const int hi = std::min(config.n, lo + kRowsPerChunk);
+      const int hi = std::min(n, lo + kRowsPerChunk);
       out.reserve(static_cast<std::size_t>(hi - lo) * 8);
       const bool three_d = !realizer.pz.empty();
       for (int i = lo; i < hi; ++i) {
@@ -597,12 +571,12 @@ Topology generate(const TopologyConfig& config) {
   // exact PRR/ETX chain (finish()) runs inside the scatter pass: iterations
   // are independent, so the expensive exp calls of neighboring links overlap,
   // and the per-link metric record never round-trips through memory.
-  topo.etx = graph::Graph(config.n);
-  topo.hops = graph::Graph(config.n);
-  topo.ett = graph::Graph(config.n);
-  topo.energy = graph::Graph(config.n);
+  topo.etx = graph::Graph(n);
+  topo.hops = graph::Graph(n);
+  topo.ett = graph::Graph(n);
+  topo.energy = graph::Graph(n);
   {
-    const std::size_t nn = static_cast<std::size_t>(config.n);
+    const std::size_t nn = static_cast<std::size_t>(n);
     std::vector<std::size_t> off(nn + 1, 0);
     for (const auto* part : parts)
       for (const PairDraw& d : *part) {
@@ -632,7 +606,7 @@ Topology generate(const TopologyConfig& config) {
       ft[b] = {r.i, r.ett_ji};
       fn[b] = {r.i, r.en_ji};
     }
-    for (int u = 0; u < config.n; ++u) {
+    for (int u = 0; u < n; ++u) {
       const std::size_t lo = off[static_cast<std::size_t>(u)];
       const std::size_t k = off[static_cast<std::size_t>(u) + 1] - lo;
       topo.etx.assign_neighbors_unchecked(u, {fe.data() + lo, k});
@@ -644,7 +618,7 @@ Topology generate(const TopologyConfig& config) {
 
   if (config.restrict_to_largest_component) {
     const std::vector<int> keep = graph::largest_component(topo.etx);
-    if (static_cast<int>(keep.size()) != config.n) {
+    if (static_cast<int>(keep.size()) != n) {
       std::vector<Vec> pos;
       pos.reserve(keep.size());
       for (int u : keep) pos.push_back(topo.positions[static_cast<std::size_t>(u)]);
@@ -655,6 +629,42 @@ Topology generate(const TopologyConfig& config) {
       topo.energy = topo.energy.induced_subgraph(keep);
     }
   }
+}
+
+Topology generate(const TopologyConfig& config) {
+  GDVR_ASSERT(config.space_dim == 2 || config.space_dim == 3);
+  GDVR_ASSERT_MSG(config.space_dim == 2 || config.num_obstacles == 0,
+                  "obstacles are modeled in 2D only");
+  Rng rng(config.seed);
+  Topology topo;
+  topo.radio = config.radio;
+  topo.obstacles =
+      random_obstacles(config.num_obstacles, config.obstacle_size_m, config.width_m,
+                       config.height_m, rng);
+
+  // Place nodes uniformly, rejecting positions inside obstacles.
+  topo.positions.reserve(static_cast<std::size_t>(config.n));
+  Vec extent = config.space_dim == 2 ? Vec{config.width_m, config.height_m}
+                                     : Vec{config.width_m, config.height_m, config.depth_m};
+  for (int i = 0; i < config.n; ++i) {
+    Vec p;
+    for (int attempt = 0; attempt < 10000; ++attempt) {
+      p = rng.point_in_box(extent);
+      const bool inside = std::any_of(topo.obstacles.begin(), topo.obstacles.end(),
+                                      [&](const Obstacle& o) { return o.contains(p); });
+      if (!inside) break;
+    }
+    topo.positions.push_back(p);
+  }
+
+  // Per-node hardware variance (makes links asymmetric).
+  std::vector<NodeHardware> hw(static_cast<std::size_t>(config.n));
+  for (auto& h : hw) {
+    h.tx_offset_db = rng.normal(0.0, config.radio.tx_power_var_db);
+    h.noise_offset_db = rng.normal(0.0, config.radio.noise_var_db);
+  }
+
+  realize_and_assemble(config, topo, hw, extent);
   return topo;
 }
 
@@ -784,6 +794,42 @@ Topology make_random_topology(const TopologyConfig& config) {
   if (config.target_avg_degree > 0.0)
     c.radio.tx_power_dbm = calibrate_tx_power(config, config.target_avg_degree);
   return generate(c);
+}
+
+Topology make_topology_from_positions(const TopologyConfig& config,
+                                      std::vector<Vec> positions) {
+  Topology topo;
+  topo.radio = config.radio;
+  if (positions.empty()) return topo;
+  const int dim = positions.front().dim();
+  GDVR_ASSERT(dim == 2 || dim == 3);
+  GDVR_ASSERT_MSG(dim == 2 || config.num_obstacles == 0, "obstacles are modeled in 2D only");
+  const int n = static_cast<int>(positions.size());
+
+  // Same seed-keyed draw order as generate(): obstacles first, then per-node
+  // hardware -- only the placement draws are skipped. target_avg_degree is
+  // intentionally NOT honored here (calibration re-places nodes randomly);
+  // callers wanting a target degree calibrate once up front and pass the
+  // resulting tx power in config.radio.
+  Rng rng(config.seed);
+  topo.obstacles = random_obstacles(config.num_obstacles, config.obstacle_size_m,
+                                    config.width_m, config.height_m, rng);
+  topo.positions = std::move(positions);
+  std::vector<NodeHardware> hw(static_cast<std::size_t>(n));
+  for (auto& h : hw) {
+    h.tx_offset_db = rng.normal(0.0, config.radio.tx_power_var_db);
+    h.noise_offset_db = rng.normal(0.0, config.radio.noise_var_db);
+  }
+
+  // Bounding box of the supplied positions (the spatial grid clamps, so a
+  // slightly-tight box only merges edge cells -- never loses a candidate).
+  Vec extent(dim);
+  for (const Vec& p : topo.positions)
+    for (int k = 0; k < dim; ++k) extent[k] = std::max(extent[k], p[k]);
+  for (int k = 0; k < dim; ++k) extent[k] = std::max(extent[k], 1e-9) * 1.0001;
+
+  realize_and_assemble(config, topo, hw, extent);
+  return topo;
 }
 
 Topology make_grid(int rows, int cols, double spacing_m, double connect_radius_factor) {

@@ -101,6 +101,17 @@ const char* metric_name(Metric m);
 // Random lossy-radio topology per the config. Deterministic in `seed`.
 Topology make_random_topology(const TopologyConfig& config);
 
+// Realizes the lossy-radio link model over externally supplied positions
+// (mobility rounds, scripted layouts) instead of placing nodes itself;
+// config.n is ignored in favor of positions.size(). Per-node hardware
+// offsets and obstacles are drawn from config.seed exactly as in
+// make_random_topology, and link realization uses the same counter-based
+// per-pair randomness -- so for a fixed seed, successive mobility rounds see
+// stable hardware and a link set that depends only on where the two
+// endpoints currently are, never on how the rest of the network moved.
+Topology make_topology_from_positions(const TopologyConfig& config,
+                                      std::vector<Vec> positions);
+
 // Regular grid with ideal (PRR = 1) links between nodes within
 // `connect_radius_factor * spacing` of each other; factor 1.0 gives the
 // 4-neighbor grid of the paper's Figure 1. Used by the grid embedding

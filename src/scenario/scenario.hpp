@@ -1,0 +1,86 @@
+// Scenario subsystem: workload generators behind one interface.
+//
+// A Scenario is a deterministic sequence of rounds; each round materializes a
+// full radio::Topology (positions + the four metric graphs), so everything
+// downstream -- centralized MDT views, the routers, routing_eval, the DV
+// protocol over NetSim -- consumes scenario rounds exactly like it consumes
+// the paper's unit-square workload. Four generators ship:
+//
+//  * unit_square  -- the paper's Zuniga-model workload (baseline; one fresh
+//    seed per round);
+//  * geo_wan      -- geographic WAN: lat/lon routers, haversine great-circle
+//    costs, fractional edge drop (geo_wan.hpp);
+//  * mobility     -- continuous motion: a MobilityDriver (random-waypoint or
+//    group) advances positions each round and the radio link model is
+//    re-realized over them via make_topology_from_positions, with per-node
+//    hardware held fixed so only *motion* changes the link set;
+//  * flash_crowd  -- membership shocks composed on sim/churn's flash_crowd
+//    generator: each round is the base topology restricted to the projected
+//    alive set after the k-th crowd swapped a fraction of the network.
+//
+// Rounds whose graph ends up disconnected are restricted to the largest
+// component with compacted node ids (the standard generate() behavior), so a
+// round is always a connected routable world; ids are therefore stable
+// within a round but not across rounds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "radio/link_model.hpp"
+#include "radio/topology.hpp"
+#include "scenario/geo_wan.hpp"
+#include "scenario/mobility.hpp"
+
+namespace gdvr::scenario {
+
+struct Round {
+  radio::Topology topo;
+  double time_s = 0.0;  // scenario clock this round corresponds to
+};
+
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+  virtual const std::string& name() const = 0;
+  virtual int rounds() const = 0;
+  // Materializes round k (0-based). Deterministic in (config, k); callers may
+  // revisit rounds in any order, though sequential access is the cheap path
+  // for mobility (random access replays the driver from round 0).
+  virtual Round round(int k) = 0;
+};
+
+// The paper's baseline workload: n nodes, area auto-scaled to keep average
+// physical degree 14.5. Round k draws a fresh instance from seed + k.
+std::unique_ptr<Scenario> unit_square_scenario(int n, std::uint64_t seed, int rounds = 1);
+
+// Geographic WAN (geo_wan.hpp). Round k regenerates with config.seed + k.
+std::unique_ptr<Scenario> geo_wan_scenario(const GeoWanConfig& config, int rounds = 1);
+
+struct MobilityScenarioConfig {
+  MobilityConfig mobility;
+  int rounds = 6;
+  double step_dt_s = 5.0;  // scenario time advanced between rounds
+  // Radio model re-realized over the moved positions each round. When
+  // target_avg_degree > 0 the tx power is calibrated once at construction
+  // (against a random placement of the same density) and then held fixed --
+  // re-calibrating per round would confound motion with power changes.
+  radio::LinkModelParams radio;
+  double target_avg_degree = 14.5;
+};
+
+std::unique_ptr<Scenario> mobility_scenario(const MobilityScenarioConfig& config);
+
+struct FlashCrowdScenarioConfig {
+  int n = 150;             // total node pool (alive + latent)
+  std::uint64_t seed = 1;
+  double latent_fraction = 0.25;  // nodes initially dead, joining in crowds
+  int crowds = 2;          // flash events; the scenario has crowds + 1 rounds
+  double flash_fraction = 0.3;    // fraction of the alive set swapped per crowd
+  double period_s = 30.0;  // time between crowds
+};
+
+std::unique_ptr<Scenario> flash_crowd_scenario(const FlashCrowdScenarioConfig& config);
+
+}  // namespace gdvr::scenario

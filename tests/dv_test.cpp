@@ -4,6 +4,7 @@
 #include "common/rng.hpp"
 #include "radio/topology.hpp"
 #include "routing/distance_vector.hpp"
+#include "sim/faults.hpp"
 #include "sim/simulator.hpp"
 
 namespace gdvr::routing {
@@ -158,6 +159,56 @@ TEST(DistanceVector, DeltaUpdatesMatchFullUpdates) {
     EXPECT_EQ(sf.delta_adverts, 0u);
     EXPECT_LT(sd.entries_delta + sd.entries_full, sf.entries_full)
         << "seed=" << seed;
+  }
+}
+
+TEST(DistanceVector, DeltaMatchesFullUnderMessageLoss) {
+  // Randomized delta-vs-full equivalence fuzz *under message loss*: both
+  // modes run through the same scripted loss-burst schedule (sim/faults
+  // windows dropping 30-45% of control messages for most of the first 30
+  // seconds). Dropped triggered deltas leave a node's neighbors with stale
+  // rows -- the failure mode full-table updates are immune to per message --
+  // so the anti-entropy guarantee carries the whole weight here: once the
+  // bursts end, the next periodic full-table advertisement must repair any
+  // divergence. The pin: one advertise period (plus in-flight slack) after
+  // the schedule quiesces, both modes sit exactly on the Dijkstra optimum
+  // and match each other entrywise.
+  for (std::uint64_t seed : {2u, 8u, 15u}) {
+    radio::TopologyConfig tc;
+    tc.n = 50;
+    tc.seed = seed;
+    tc.target_avg_degree = 14.5;
+    const radio::Topology topo = radio::make_random_topology(tc);
+
+    sim::FaultSchedule schedule;
+    schedule.loss_burst(2.0, 12.0, 0.45);
+    schedule.loss_burst(18.0, 9.0, 0.30);
+
+    DvConfig full_cfg;
+    full_cfg.delta_updates = false;
+    DvConfig delta_cfg;
+    delta_cfg.delta_updates = true;
+    Fixture full(topo.etx, full_cfg);
+    Fixture delta(topo.etx, delta_cfg);
+    for (Fixture* f : {&full, &delta}) {
+      sim::FaultActions actions;
+      actions.set_loss = [f](double p) { f->net->set_fault_loss(p); };
+      actions.node_count = [f] { return f->net->size(); };
+      sim::FaultInjector injector(f->sim, actions);
+      injector.install(schedule);
+      // Repair budget: the loss windows close at quiesce_time; every node's
+      // next periodic full-table advertisement lands within one
+      // advertise_period, plus one second of delivery slack.
+      f->settle(schedule.quiesce_time() + DvConfig{}.advertise_period_s + 1.0);
+      EXPECT_GT(f->net->messages_lost(), 0u) << "seed=" << seed;
+    }
+
+    EXPECT_TRUE(full.dv->converged()) << "seed=" << seed;
+    EXPECT_TRUE(delta.dv->converged()) << "seed=" << seed;
+    for (int u = 0; u < topo.size(); ++u)
+      for (int t = 0; t < topo.size(); ++t)
+        ASSERT_NEAR(full.dv->cost(u, t), delta.dv->cost(u, t), 1e-9)
+            << "seed=" << seed << " u=" << u << " t=" << t;
   }
 }
 
